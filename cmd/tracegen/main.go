@@ -1,0 +1,93 @@
+// Command tracegen synthesizes a workload trace and writes it as a ZBPT
+// binary file, or summarizes an existing file's footprint (the Table 4
+// metrics).
+//
+// Usage:
+//
+//	tracegen -trace zos-lspr-cicsdb2 -insts 1000000 -o cicsdb2.zbpt
+//	tracegen -stats cicsdb2.zbpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bulkpreload/internal/analysis"
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/workload"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "", "Table 4 workload name to generate")
+		insts     = flag.Int("insts", workload.DefaultInstructions, "dynamic instructions")
+		out       = flag.String("o", "", "output ZBPT file (default <trace>.zbpt)")
+		statsFile = flag.String("stats", "", "summarize an existing ZBPT file and exit")
+		reuse     = flag.Bool("reuse", false, "also print the branch re-reference histogram and level coverage")
+		asmFns    = flag.Int("asm", 0, "disassemble the first N functions of the generated program")
+		list      = flag.Bool("list", false, "list workload names and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+	case *statsFile != "":
+		src, err := trace.ReadFile(*statsFile)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(trace.Measure(src))
+		if *reuse {
+			printReuse(src)
+		}
+	case *traceName != "":
+		p, err := workload.ByName(*traceName, *insts)
+		if err != nil {
+			fatal(err)
+		}
+		path := *out
+		if path == "" {
+			path = p.Name + ".zbpt"
+		}
+		src := workload.New(p)
+		if err := trace.WriteFile(path, src); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %s\n", path, trace.Measure(src))
+		if *reuse {
+			printReuse(src)
+		}
+		if *asmFns > 0 {
+			if err := src.Disassemble(os.Stdout, *asmFns); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// printReuse prints the locality analysis that determines which
+// hierarchy level catches each branch re-reference.
+func printReuse(src trace.Source) {
+	h := analysis.BranchReuse(src)
+	st := trace.Measure(src)
+	fmt.Print(h.String())
+	if st.Branches > 0 {
+		ipb := float64(st.Instructions) / float64(st.Branches)
+		cov := h.Coverage(ipb)
+		fmt.Printf("median re-reference distance: %d instructions\n", h.Median())
+		fmt.Printf("level coverage estimate: BTBP %.1f%%, +BTB1 %.1f%%, +BTB2 %.1f%%, beyond %.1f%%\n",
+			cov.BTBPPct, cov.BTB1Pct, cov.BTB2Pct, cov.BeyondPct)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command zsim runs one branch-prediction configuration over one
+// workload and prints the detailed result: CPI, the Figure 4 outcome
+// breakdown, and per-structure statistics.
+//
+// Usage:
+//
+//	zsim -trace zos-daytrader-dbserv -config btb2 -insts 1000000
+//	zsim -file trace.zbpt -config no-btb2
+//	zsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/engine"
+	"bulkpreload/internal/report"
+	"bulkpreload/internal/sim"
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/workload"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "zos-daytrader-dbserv", "Table 4 workload name (see -list)")
+		file      = flag.String("file", "", "ZBPT trace file (overrides -trace)")
+		config    = flag.String("config", "btb2", "configuration: no-btb2, btb2, large-btb1")
+		insts     = flag.Int("insts", workload.DefaultInstructions, "dynamic instructions to simulate")
+		warmup    = flag.Int64("warmup", 100_000, "instructions excluded from reported counts")
+		hardware  = flag.Bool("hardware", false, "hardware mode: finite L2 instruction cache")
+		events    = flag.Int("events", 0, "print the first N hierarchy events (0 = off)")
+		timeline  = flag.Int("timeline", 0, "render the bulk-preload timeline of the first N 4KB blocks (0 = off)")
+		compare   = flag.Bool("compare", false, "run all three Table 3 configurations and print the comparison")
+		specFile  = flag.String("spec", "", "run a JSON experiment spec (overrides other flags)")
+		list      = flag.Bool("list", false, "list Table 4 workload names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *specFile != "" {
+		spec, err := sim.LoadSpec(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		r, err := spec.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		report.Result(os.Stdout, r)
+		return
+	}
+
+	cfgs := sim.Table3()
+	if _, ok := cfgs[*config]; !ok {
+		fmt.Fprintf(os.Stderr, "zsim: unknown configuration %q (want %s)\n",
+			*config, strings.Join([]string{sim.ConfigNoBTB2, sim.ConfigBTB2, sim.ConfigLargeL1}, ", "))
+		os.Exit(2)
+	}
+
+	src, err := loadSource(*file, *traceName, *insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsim:", err)
+		os.Exit(1)
+	}
+
+	if *compare {
+		params := engine.DefaultParams()
+		if *hardware {
+			params = engine.HardwareParams()
+		}
+		params.WarmupInstructions = *warmup
+		c := sim.Compare(src, params)
+		fmt.Println(c)
+		fmt.Printf("  CPI: %s %.4f | %s %.4f | %s %.4f\n",
+			sim.ConfigNoBTB2, c.Base.CPI(), sim.ConfigBTB2, c.BTB2.CPI(),
+			sim.ConfigLargeL1, c.LargeBTB1.CPI())
+		return
+	}
+
+	params := engine.DefaultParams()
+	if *hardware {
+		params = engine.HardwareParams()
+	}
+	params.WarmupInstructions = *warmup
+	var tracer *core.CollectTracer
+	if *events > 0 || *timeline > 0 {
+		max := *events
+		if *timeline > 0 {
+			// Timeline stories need a deep event window.
+			max = 200_000
+		}
+		tracer = &core.CollectTracer{Max: max}
+		params.EventTracer = tracer
+	}
+
+	r := engine.Run(src, cfgs[*config], params, *config)
+	report.Result(os.Stdout, r)
+	if tracer != nil && *events > 0 {
+		n := *events
+		if n > len(tracer.Events) {
+			n = len(tracer.Events)
+		}
+		fmt.Printf("first %d hierarchy events:\n", n)
+		for _, ev := range tracer.Events[:n] {
+			fmt.Println(" ", ev)
+		}
+	}
+	if tracer != nil && *timeline > 0 {
+		report.TransferTimeline(os.Stdout, tracer.Events, *timeline)
+	}
+}
+
+func loadSource(file, traceName string, insts int) (trace.Source, error) {
+	if file != "" {
+		return trace.ReadFile(file)
+	}
+	p, err := workload.ByName(traceName, insts)
+	if err != nil {
+		return nil, fmt.Errorf("%v (use -list for names)", err)
+	}
+	return workload.New(p), nil
+}

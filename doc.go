@@ -1,0 +1,25 @@
+// Package bulkpreload is a from-scratch Go reproduction of "Two Level
+// Bulk Preload Branch Prediction" (Bonanno, Collura, Lipetz, Mayer,
+// Prasky, Saporito — HPCA 2013), the hierarchical branch predictor of
+// the IBM zEnterprise EC12.
+//
+// The library lives under internal/:
+//
+//   - internal/core — the two-level hierarchy itself: BTB1, BTBP, BTB2,
+//     bulk preload, semi-exclusive content movement, PHT/CTB/FIT and the
+//     surprise BHT;
+//   - internal/tracker and internal/steering — the BTB2 search trackers
+//     and the ordering-table search steering of Sections 3.6-3.7;
+//   - internal/predictor — the Table 1 search-pipeline throughput rules
+//     and the Table 2 speculative BTB1-miss detector;
+//   - internal/engine — the cycle-approximate zEC12 core model the
+//     experiments run on;
+//   - internal/workload — synthetic commercial workloads matched to the
+//     Table 4 branch footprints;
+//   - internal/sim and internal/report — experiment orchestration and
+//     rendering for every table and figure of the evaluation.
+//
+// The benchmarks in bench_test.go regenerate each table and figure; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results against the paper's numbers.
+package bulkpreload

@@ -1,0 +1,3 @@
+module bulkpreload
+
+go 1.22

@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"bulkpreload/internal/analysis"
+	"bulkpreload/internal/trace"
+)
+
+// Example measures the re-reference locality of a tight loop: every
+// branch re-execution happens at a distance of three instructions, well
+// inside any level's retention.
+func Example() {
+	var ins []trace.Inst
+	for i := 0; i < 1000; i++ {
+		ins = append(ins,
+			trace.Inst{Addr: 0x1000, Length: 4, Kind: trace.NotBranch},
+			trace.Inst{Addr: 0x1004, Length: 4, Kind: trace.NotBranch},
+			trace.Inst{Addr: 0x1008, Length: 4, Kind: trace.CondDirect,
+				Taken: true, Target: 0x1000, StaticTaken: true},
+		)
+	}
+	h := analysis.BranchReuse(trace.NewSliceSource("loop", ins))
+	fmt.Printf("branch executions: %d (first-time: %d)\n", h.Total, h.First)
+	fmt.Printf("median re-reference distance: %d instructions\n", h.Median())
+	fmt.Printf("beyond first level: %.0f%%\n",
+		100*h.FractionBeyond(int64(4864*4)))
+	// Output:
+	// branch executions: 1000 (first-time: 1)
+	// median re-reference distance: 3 instructions
+	// beyond first level: 0%
+}

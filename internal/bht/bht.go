@@ -1,0 +1,130 @@
+// Package bht implements the direction-prediction state machines of the
+// zEC12 first-level branch predictor: the 2-bit bimodal counter stored in
+// every BTB1/BTBP/BTB2 entry, and the tagless 32k-entry 1-bit surprise
+// BHT used to guess the direction of branches that miss the whole first
+// level ("surprise branches").
+package bht
+
+import "bulkpreload/internal/zaddr"
+
+// Bimodal is the classic 2-bit saturating direction counter stored per
+// BTB entry. The zero value is StrongNT.
+type Bimodal uint8
+
+// Bimodal counter states, from strongly not-taken to strongly taken.
+const (
+	StrongNT Bimodal = iota
+	WeakNT
+	WeakT
+	StrongT
+)
+
+// Taken reports the direction the counter currently predicts.
+func (b Bimodal) Taken() bool { return b >= WeakT }
+
+// Strong reports whether the counter is in a saturated state.
+func (b Bimodal) Strong() bool { return b == StrongNT || b == StrongT }
+
+// Update returns the counter state after observing an outcome.
+func (b Bimodal) Update(taken bool) Bimodal {
+	if taken {
+		if b == StrongT {
+			return StrongT
+		}
+		return b + 1
+	}
+	if b == StrongNT {
+		return StrongNT
+	}
+	return b - 1
+}
+
+// Init returns the counter state appropriate for a newly installed entry
+// that was just observed with the given outcome (weakly biased, as a
+// single observation warrants).
+func Init(taken bool) Bimodal {
+	if taken {
+		return WeakT
+	}
+	return WeakNT
+}
+
+// String implements fmt.Stringer.
+func (b Bimodal) String() string {
+	switch b {
+	case StrongNT:
+		return "strong-nt"
+	case WeakNT:
+		return "weak-nt"
+	case WeakT:
+		return "weak-t"
+	case StrongT:
+		return "strong-t"
+	default:
+		return "invalid"
+	}
+}
+
+// SurpriseBHT is the tagless one-bit branch history table consulted for
+// surprise branches, combined by the caller with the static opcode guess.
+// The shipping design has 32k entries. Slots that have never been trained
+// defer to the static opcode/instruction-text guess (Guess), modelling
+// the paper's "guessed based on a tagless 32k entry one-bit BHT, its
+// opcode and other instruction text fields".
+type SurpriseBHT struct {
+	bits    []bool
+	touched []bool
+	mask    uint64
+}
+
+// DefaultSurpriseEntries is the zEC12 surprise BHT size.
+const DefaultSurpriseEntries = 32 * 1024
+
+// NewSurpriseBHT builds a surprise BHT with the given number of entries
+// (must be a power of two).
+func NewSurpriseBHT(entries int) *SurpriseBHT {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bht: surprise BHT entries must be a positive power of two")
+	}
+	return &SurpriseBHT{
+		bits:    make([]bool, entries),
+		touched: make([]bool, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+// index hashes a branch address to a table slot. Instruction addresses
+// are halfword aligned, so bit 63 carries no information; drop it.
+func (s *SurpriseBHT) index(a zaddr.Addr) uint64 { return (uint64(a) >> 1) & s.mask }
+
+// Taken returns the table's direction guess for the branch at a.
+func (s *SurpriseBHT) Taken(a zaddr.Addr) bool { return s.bits[s.index(a)] }
+
+// Guess combines the table with the static opcode-derived guess: trained
+// slots supply the dynamic bit, untrained slots fall back to the static
+// guess.
+func (s *SurpriseBHT) Guess(a zaddr.Addr, staticTaken bool) bool {
+	i := s.index(a)
+	if s.touched[i] {
+		return s.bits[i]
+	}
+	return staticTaken
+}
+
+// Update records a resolved direction for the branch at a.
+func (s *SurpriseBHT) Update(a zaddr.Addr, taken bool) {
+	i := s.index(a)
+	s.bits[i] = taken
+	s.touched[i] = true
+}
+
+// Entries returns the table size.
+func (s *SurpriseBHT) Entries() int { return len(s.bits) }
+
+// Reset clears all history.
+func (s *SurpriseBHT) Reset() {
+	for i := range s.bits {
+		s.bits[i] = false
+		s.touched[i] = false
+	}
+}

@@ -1,0 +1,448 @@
+// Package btb implements the tagged set-associative branch target buffer
+// array used for all three levels of the zEC12 hierarchy (BTB1, BTBP,
+// BTB2). The three levels differ only in geometry (rows, ways, index bit
+// range) and in how the surrounding logic manipulates LRU state, so a
+// single Table type serves all of them.
+//
+// A row normally covers 32 bytes of instruction space; an entry
+// identifies one branch by the line it lives in (index + tag) plus its
+// byte offset within the line. The paper's future-work section proposes
+// widening the BTB2's congruence class to 64 or 128 bytes to raise
+// tag-matching branches per search, so row coverage is derived from the
+// index bit range rather than fixed: IndexLo 58 gives 32-byte rows, 57
+// gives 64, 56 gives 128. Tags may be truncated (TagBits) to model the
+// aliasing of partial-tag hardware designs; TagBits = 0 means full tags.
+package btb
+
+import (
+	"fmt"
+
+	"bulkpreload/internal/bht"
+	"bulkpreload/internal/zaddr"
+)
+
+// Entry is one branch's prediction record. The paper: "each BTB1 entry
+// contains a 2-bit bimodal Branch History Table (BHT) direction
+// prediction and a target address used for predicted taken branches",
+// plus control bits gating PHT/CTB use for that branch. BTBP and BTB2
+// entries hold the same content.
+type Entry struct {
+	Valid  bool
+	Addr   zaddr.Addr  // full branch instruction address
+	Target zaddr.Addr  // predicted target when taken
+	Dir    bht.Bimodal // bimodal direction state
+	// UsePHT marks branches that have shown multiple directions; the PHT
+	// overrides the bimodal direction for them.
+	UsePHT bool
+	// UseCTB marks branches that have shown multiple targets; the CTB
+	// overrides the stored target for them.
+	UseCTB bool
+	// Length of the branch instruction in bytes, kept so predictions can
+	// compute the not-taken fall-through address.
+	Length uint8
+}
+
+// Config fixes a table's geometry.
+type Config struct {
+	Name    string // for diagnostics: "BTB1", "BTBP", "BTB2"
+	Rows    int    // number of congruence classes; power of two
+	Ways    int    // set associativity
+	IndexHi uint   // big-endian high bit of the index range
+	IndexLo uint   // big-endian low bit of the index range (inclusive)
+	// TagBits is the number of address bits immediately above the index
+	// that are compared on lookup. 0 compares all bits above the index
+	// (exact, alias-free tagging).
+	TagBits uint
+}
+
+// Validate checks that the geometry is self-consistent: the index range
+// must address exactly Rows rows, and the row coverage implied by
+// IndexLo must be a sane line size (the paper ships 32-byte rows and
+// studies 64/128-byte BTB2 rows as future work).
+func (c Config) Validate() error {
+	if c.Rows <= 0 || c.Rows&(c.Rows-1) != 0 {
+		return fmt.Errorf("btb %s: rows %d not a positive power of two", c.Name, c.Rows)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("btb %s: ways %d must be positive", c.Name, c.Ways)
+	}
+	if c.IndexHi > c.IndexLo || c.IndexLo > 63 {
+		return fmt.Errorf("btb %s: invalid index bit range %d:%d", c.Name, c.IndexHi, c.IndexLo)
+	}
+	width := c.IndexLo - c.IndexHi + 1
+	if 1<<width != c.Rows {
+		return fmt.Errorf("btb %s: index bits %d:%d address %d rows, config says %d",
+			c.Name, c.IndexHi, c.IndexLo, 1<<width, c.Rows)
+	}
+	if lb := c.LineBytes(); lb < zaddr.RowBytes || lb > zaddr.SectorBytes {
+		return fmt.Errorf("btb %s: index low bit %d implies %d-byte rows, want %d..%d",
+			c.Name, c.IndexLo, lb, zaddr.RowBytes, zaddr.SectorBytes)
+	}
+	return nil
+}
+
+// LineBytes returns the instruction bytes covered by one row, implied by
+// the index bit range (bits below IndexLo are the in-line offset).
+func (c Config) LineBytes() int { return 1 << (63 - c.IndexLo) }
+
+// Capacity returns the total number of entries.
+func (c Config) Capacity() int { return c.Rows * c.Ways }
+
+// Paper geometries (Section 3.1 / Table 3).
+var (
+	// BTB1Config is the 4k-branch first level: 1k rows x 4 ways, indexed
+	// with instruction address bits 49:58.
+	BTB1Config = Config{Name: "BTB1", Rows: 1024, Ways: 4, IndexHi: 49, IndexLo: 58}
+	// BTBPConfig is the 768-branch preload table: 128 rows x 6 ways,
+	// indexed with bits 52:58.
+	BTBPConfig = Config{Name: "BTBP", Rows: 128, Ways: 6, IndexHi: 52, IndexLo: 58}
+	// BTB2Config is the 24k-branch second level: 4k rows x 6 ways,
+	// indexed with bits 47:58.
+	BTB2Config = Config{Name: "BTB2", Rows: 4096, Ways: 6, IndexHi: 47, IndexLo: 58}
+	// LargeBTB1Config is Table 3 configuration 3: the "unrealistically
+	// large" 24k one-level BTB1 (4k rows x 6 ways).
+	LargeBTB1Config = Config{Name: "BTB1-24k", Rows: 4096, Ways: 6, IndexHi: 47, IndexLo: 58}
+)
+
+// Stats counts table activity.
+type Stats struct {
+	Lookups  int64 // LookupLine calls
+	LineHits int64 // lookups that found at least one matching entry
+	Installs int64 // new entries written
+	Updates  int64 // in-place updates of existing entries
+	Evicts   int64 // valid victims displaced by installs
+}
+
+// Table is a set-associative tagged BTB.
+type Table struct {
+	cfg   Config
+	slots []Entry // rows x ways, flat
+	// order holds per-row recency order: order[row*ways+k] is the way
+	// index at recency rank k (rank 0 = MRU, rank ways-1 = LRU).
+	order []uint8
+	stats Stats
+}
+
+// New builds an empty table; it panics if cfg is invalid (geometry is a
+// programming error, not an input error).
+func New(cfg Config) *Table {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Table{
+		cfg:   cfg,
+		slots: make([]Entry, cfg.Rows*cfg.Ways),
+		order: make([]uint8, cfg.Rows*cfg.Ways),
+	}
+	for row := 0; row < cfg.Rows; row++ {
+		for w := 0; w < cfg.Ways; w++ {
+			t.order[row*cfg.Ways+w] = uint8(w)
+		}
+	}
+	return t
+}
+
+// Config returns the table geometry.
+func (t *Table) Config() Config { return t.cfg }
+
+// Stats returns a copy of the activity counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// RowFor returns the congruence class the address maps to.
+func (t *Table) RowFor(a zaddr.Addr) int {
+	return int(zaddr.Bits(a, t.cfg.IndexHi, t.cfg.IndexLo))
+}
+
+// tagOf extracts the comparison tag for an address. With TagBits = 0 the
+// tag is every bit above the index; otherwise only TagBits bits
+// immediately above the index, which lets distinct lines alias.
+func (t *Table) tagOf(a zaddr.Addr) uint64 {
+	if t.cfg.IndexHi == 0 {
+		return 0 // index consumes the whole address; no tag bits remain
+	}
+	hi := uint(0)
+	if t.cfg.TagBits != 0 && t.cfg.TagBits <= t.cfg.IndexHi {
+		hi = t.cfg.IndexHi - t.cfg.TagBits
+	}
+	return zaddr.Bits(a, hi, t.cfg.IndexHi-1)
+}
+
+// lineMatch reports whether entry address ea and probe address pa map to
+// the same row with equal tags — i.e. whether hardware would consider
+// them the same 32-byte line.
+func (t *Table) lineMatch(ea, pa zaddr.Addr) bool {
+	return t.RowFor(ea) == t.RowFor(pa) && t.tagOf(ea) == t.tagOf(pa)
+}
+
+// lineOffset returns a's byte offset within this table's row coverage.
+func (t *Table) lineOffset(a zaddr.Addr) uint {
+	return uint(a) & uint(t.cfg.LineBytes()-1)
+}
+
+// entryMatch reports whether an entry would be recognized as the branch
+// at address a: same line (per tag policy) and same offset in the line.
+func (t *Table) entryMatch(e *Entry, a zaddr.Addr) bool {
+	return e.Valid && t.lineMatch(e.Addr, a) && t.lineOffset(e.Addr) == t.lineOffset(a)
+}
+
+// Hit describes one matching entry found by LookupLine.
+type Hit struct {
+	Way   int
+	MRU   bool // entry is in the most-recently-used way of its row
+	Entry Entry
+}
+
+// LookupLine returns all valid entries in the row of line whose tags
+// match the line, in way order. This models the parallel read of a full
+// congruence class performed each search cycle. The result shares no
+// storage with the table.
+func (t *Table) LookupLine(line zaddr.Addr, out []Hit) []Hit {
+	t.stats.Lookups++
+	row := t.RowFor(line)
+	base := row * t.cfg.Ways
+	mruWay := int(t.order[base])
+	found := false
+	for w := 0; w < t.cfg.Ways; w++ {
+		e := &t.slots[base+w]
+		if e.Valid && t.lineMatch(e.Addr, line) {
+			out = append(out, Hit{Way: w, MRU: w == mruWay, Entry: *e})
+			found = true
+		}
+	}
+	if found {
+		t.stats.LineHits++
+	}
+	return out
+}
+
+// Find returns a copy of the entry recognized as branch a, if present.
+func (t *Table) Find(a zaddr.Addr) (Entry, bool) {
+	if e := t.find(a); e != nil {
+		return *e, true
+	}
+	return Entry{}, false
+}
+
+func (t *Table) find(a zaddr.Addr) *Entry {
+	base := t.RowFor(a) * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		e := &t.slots[base+w]
+		if t.entryMatch(e, a) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Contains reports whether branch a has an entry.
+func (t *Table) Contains(a zaddr.Addr) bool { return t.find(a) != nil }
+
+// Update overwrites the existing entry for branch e.Addr in place,
+// preserving its recency rank. It reports whether an entry was found.
+func (t *Table) Update(e Entry) bool {
+	slot := t.find(e.Addr)
+	if slot == nil {
+		return false
+	}
+	e.Valid = true
+	*slot = e
+	t.stats.Updates++
+	return true
+}
+
+// Insert writes e into the row for e.Addr. If the branch is already
+// present it is updated in place and made MRU. Otherwise the entry is
+// written over an invalid way if one exists, else over the LRU way, and
+// made MRU; the displaced valid entry, if any, is returned as the victim.
+func (t *Table) Insert(e Entry) (victim Entry, evicted bool) {
+	return t.insert(e, false)
+}
+
+// InsertAtLRU writes e like Insert but leaves the new entry at the LRU
+// recency rank instead of promoting it. The BTB2's semi-exclusive policy
+// uses this for entries that were just copied *out* (made LRU so future
+// victims overwrite them first).
+func (t *Table) InsertAtLRU(e Entry) (victim Entry, evicted bool) {
+	return t.insert(e, true)
+}
+
+func (t *Table) insert(e Entry, atLRU bool) (victim Entry, evicted bool) {
+	e.Valid = true
+	row := t.RowFor(e.Addr)
+	base := row * t.cfg.Ways
+	// Already present: in-place update.
+	for w := 0; w < t.cfg.Ways; w++ {
+		if t.entryMatch(&t.slots[base+w], e.Addr) {
+			t.slots[base+w] = e
+			t.stats.Updates++
+			if atLRU {
+				t.demoteWay(row, w)
+			} else {
+				t.promoteWay(row, w)
+			}
+			return Entry{}, false
+		}
+	}
+	// Free way?
+	way := -1
+	for w := 0; w < t.cfg.Ways; w++ {
+		if !t.slots[base+w].Valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		// Replace LRU.
+		way = int(t.order[base+t.cfg.Ways-1])
+		victim = t.slots[base+way]
+		evicted = true
+		t.stats.Evicts++
+	}
+	t.slots[base+way] = e
+	t.stats.Installs++
+	if atLRU {
+		t.demoteWay(row, way)
+	} else {
+		t.promoteWay(row, way)
+	}
+	return victim, evicted
+}
+
+// Touch makes the entry for branch a most recently used. It reports
+// whether the branch was present.
+func (t *Table) Touch(a zaddr.Addr) bool {
+	row := t.RowFor(a)
+	base := row * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		if t.entryMatch(&t.slots[base+w], a) {
+			t.promoteWay(row, w)
+			return true
+		}
+	}
+	return false
+}
+
+// Demote makes the entry for branch a least recently used. The paper's
+// semi-exclusive policy: "When an entry is copied from BTB2 to BTBP, it
+// is made LRU in the BTB2", so subsequent victims/installs replace it.
+func (t *Table) Demote(a zaddr.Addr) bool {
+	row := t.RowFor(a)
+	base := row * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		if t.entryMatch(&t.slots[base+w], a) {
+			t.demoteWay(row, w)
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the entry for branch a, reporting whether it was
+// present. The removed way becomes LRU.
+func (t *Table) Invalidate(a zaddr.Addr) bool {
+	row := t.RowFor(a)
+	base := row * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		if t.entryMatch(&t.slots[base+w], a) {
+			t.slots[base+w] = Entry{}
+			t.demoteWay(row, w)
+			return true
+		}
+	}
+	return false
+}
+
+// promoteWay moves way w of row to recency rank 0 (MRU).
+func (t *Table) promoteWay(row, w int) {
+	base := row * t.cfg.Ways
+	ord := t.order[base : base+t.cfg.Ways]
+	pos := 0
+	for ; pos < len(ord); pos++ {
+		if int(ord[pos]) == w {
+			break
+		}
+	}
+	copy(ord[1:pos+1], ord[0:pos])
+	ord[0] = uint8(w)
+}
+
+// demoteWay moves way w of row to recency rank ways-1 (LRU).
+func (t *Table) demoteWay(row, w int) {
+	base := row * t.cfg.Ways
+	ord := t.order[base : base+t.cfg.Ways]
+	pos := 0
+	for ; pos < len(ord); pos++ {
+		if int(ord[pos]) == w {
+			break
+		}
+	}
+	copy(ord[pos:], ord[pos+1:])
+	ord[len(ord)-1] = uint8(w)
+}
+
+// MRUWay returns the most recently used way of the row containing a.
+func (t *Table) MRUWay(a zaddr.Addr) int {
+	return int(t.order[t.RowFor(a)*t.cfg.Ways])
+}
+
+// LRUEntry returns a copy of the LRU entry of the row containing a.
+func (t *Table) LRUEntry(a zaddr.Addr) Entry {
+	base := t.RowFor(a) * t.cfg.Ways
+	return t.slots[base+int(t.order[base+t.cfg.Ways-1])]
+}
+
+// Entries returns the branch addresses of all valid entries, in storage
+// order. Intended for invariant checks and diagnostics.
+func (t *Table) Entries() []zaddr.Addr {
+	out := make([]zaddr.Addr, 0, t.CountValid())
+	for i := range t.slots {
+		if t.slots[i].Valid {
+			out = append(out, t.slots[i].Addr)
+		}
+	}
+	return out
+}
+
+// CountValid returns the number of valid entries in the whole table.
+func (t *Table) CountValid() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates every entry and restores initial LRU order.
+func (t *Table) Reset() {
+	for i := range t.slots {
+		t.slots[i] = Entry{}
+	}
+	for row := 0; row < t.cfg.Rows; row++ {
+		for w := 0; w < t.cfg.Ways; w++ {
+			t.order[row*t.cfg.Ways+w] = uint8(w)
+		}
+	}
+	t.stats = Stats{}
+}
+
+// checkLRUInvariant verifies that each row's recency order is a
+// permutation of its ways. Exposed for tests via export_test.go.
+func (t *Table) checkLRUInvariant() error {
+	for row := 0; row < t.cfg.Rows; row++ {
+		var seen uint64
+		base := row * t.cfg.Ways
+		for k := 0; k < t.cfg.Ways; k++ {
+			w := t.order[base+k]
+			if int(w) >= t.cfg.Ways {
+				return fmt.Errorf("btb %s row %d: rank %d holds invalid way %d", t.cfg.Name, row, k, w)
+			}
+			if seen&(1<<w) != 0 {
+				return fmt.Errorf("btb %s row %d: way %d appears twice in LRU order", t.cfg.Name, row, w)
+			}
+			seen |= 1 << w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,5 @@
+package btb
+
+// CheckLRUInvariant exposes the internal recency-order invariant check to
+// tests in this package and keeps it out of the public API.
+func (t *Table) CheckLRUInvariant() error { return t.checkLRUInvariant() }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"bulkpreload/internal/zaddr"
+)
+
+// EventKind labels one hierarchy event for tracing.
+type EventKind uint8
+
+// Hierarchy event kinds, in rough lifecycle order.
+const (
+	// EvPredict: a dynamic prediction was made (Addr = branch, Aux =
+	// target when taken).
+	EvPredict EventKind = iota
+	// EvPromotion: a BTBP entry moved into the BTB1 (Addr = branch).
+	EvPromotion
+	// EvVictim: a BTB1 victim cascaded to the BTBP/BTB2 (Addr = victim).
+	EvVictim
+	// EvSurpriseInstall: a surprise branch queued a BTBP install (Addr =
+	// branch, Aux = target).
+	EvSurpriseInstall
+	// EvPreloadInstall: a branch preload instruction queued an install.
+	EvPreloadInstall
+	// EvMissReport: a BTB1 miss was reported to the trackers (Addr =
+	// anchor address).
+	EvMissReport
+	// EvICacheReport: an L1I miss was reported to the trackers.
+	EvICacheReport
+	// EvTransferHit: a BTB2 entry was bulk-moved into the BTBP (Addr =
+	// branch, Aux = target).
+	EvTransferHit
+	// EvChase: a multi-block secondary search launched (Addr = block
+	// base).
+	EvChase
+
+	numEventKinds
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvPredict:
+		return "predict"
+	case EvPromotion:
+		return "promote"
+	case EvVictim:
+		return "victim"
+	case EvSurpriseInstall:
+		return "surprise-install"
+	case EvPreloadInstall:
+		return "preload-install"
+	case EvMissReport:
+		return "btb1-miss"
+	case EvICacheReport:
+		return "icache-miss"
+	case EvTransferHit:
+		return "transfer-hit"
+	case EvChase:
+		return "chase"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one traced hierarchy action.
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	Addr  zaddr.Addr
+	Aux   zaddr.Addr
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	if e.Aux != 0 {
+		return fmt.Sprintf("[%8d] %-16s %#x -> %#x", e.Cycle, e.Kind, uint64(e.Addr), uint64(e.Aux))
+	}
+	return fmt.Sprintf("[%8d] %-16s %#x", e.Cycle, e.Kind, uint64(e.Addr))
+}
+
+// Tracer receives hierarchy events. Implementations must be fast; the
+// hierarchy calls them inline.
+type Tracer interface {
+	Event(Event)
+}
+
+// SetTracer installs (or, with nil, removes) an event tracer.
+func (h *Hierarchy) SetTracer(t Tracer) { h.tracer = t }
+
+// emit sends an event to the tracer if one is installed.
+func (h *Hierarchy) emit(cycle uint64, kind EventKind, addr, aux zaddr.Addr) {
+	if h.tracer != nil {
+		h.tracer.Event(Event{Cycle: cycle, Kind: kind, Addr: addr, Aux: aux})
+	}
+}
+
+// CollectTracer is a Tracer that buffers events up to a cap — the
+// simplest way to inspect hierarchy behaviour in tests and tools.
+type CollectTracer struct {
+	Max    int // 0 = unlimited
+	Events []Event
+}
+
+// Event implements Tracer.
+func (c *CollectTracer) Event(e Event) {
+	if c.Max > 0 && len(c.Events) >= c.Max {
+		return
+	}
+	c.Events = append(c.Events, e)
+}
+
+// Count returns how many events of the given kind were collected.
+func (c *CollectTracer) Count(kind EventKind) int {
+	n := 0
+	for _, e := range c.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

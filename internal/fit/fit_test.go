@@ -1,0 +1,100 @@
+package fit
+
+import (
+	"testing"
+
+	"bulkpreload/internal/zaddr"
+)
+
+func TestNewValidation(t *testing.T) {
+	if New(DefaultEntries).Entries() != 64 {
+		t.Error("DefaultEntries != 64")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestTrainLookup(t *testing.T) {
+	f := New(4)
+	br, tgt := zaddr.Addr(0x1000), zaddr.Addr(0x2000)
+	if f.Lookup(br, tgt) {
+		t.Fatal("empty FIT hit")
+	}
+	f.Train(br, tgt)
+	if !f.Lookup(br, tgt) {
+		t.Fatal("trained entry missed")
+	}
+	st := f.Stats()
+	if st.Hits != 1 || st.Installs != 1 || st.Lookups != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStaleIndexRejected(t *testing.T) {
+	f := New(4)
+	br := zaddr.Addr(0x1000)
+	f.Train(br, 0x2000)
+	// Branch now goes elsewhere: the FIT entry is stale and must not be
+	// honored as an accelerated re-index.
+	if f.Lookup(br, 0x3000) {
+		t.Fatal("stale FIT entry honored")
+	}
+	if st := f.Stats(); st.Stale != 1 {
+		t.Errorf("Stale = %d, want 1", st.Stale)
+	}
+	// Retraining fixes it in place without a second install.
+	f.Train(br, 0x3000)
+	if !f.Lookup(br, 0x3000) {
+		t.Fatal("retrained entry missed")
+	}
+	if st := f.Stats(); st.Installs != 1 {
+		t.Errorf("Installs = %d, want 1 (in-place retrain)", st.Installs)
+	}
+}
+
+func TestLRUCapacity(t *testing.T) {
+	f := New(4)
+	for i := 0; i < 5; i++ {
+		f.Train(zaddr.Addr(0x1000+0x100*i), 0x9000)
+	}
+	// Oldest (0x1000) must be evicted; the rest survive.
+	if f.Lookup(0x1000, 0x9000) {
+		t.Error("LRU entry survived over-capacity train")
+	}
+	for i := 1; i < 5; i++ {
+		if !f.Lookup(zaddr.Addr(0x1000+0x100*i), 0x9000) {
+			t.Errorf("entry %d evicted wrongly", i)
+		}
+	}
+}
+
+func TestLookupPromotes(t *testing.T) {
+	f := New(2)
+	f.Train(0x1000, 0x9000)
+	f.Train(0x2000, 0x9000)
+	// Touch 0x1000 so 0x2000 becomes LRU.
+	f.Lookup(0x1000, 0x9000)
+	f.Train(0x3000, 0x9000)
+	if f.Lookup(0x2000, 0x9000) {
+		t.Error("expected 0x2000 to be the victim")
+	}
+	if !f.Lookup(0x1000, 0x9000) {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(4)
+	f.Train(0x1000, 0x2000)
+	f.Reset()
+	if f.Lookup(0x1000, 0x2000) {
+		t.Error("Reset left entries")
+	}
+	if st := f.Stats(); st.Installs != 0 {
+		t.Error("Reset left stats")
+	}
+}

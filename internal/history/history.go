@@ -1,0 +1,138 @@
+// Package history maintains the global prediction-path history registers
+// shared by the PHT and CTB. Per the paper, the PHT is "indexed based on
+// the direction of the 12 previous predicted branches and the instruction
+// addresses of the 6 previous taken branches" and the CTB "based on the
+// instruction addresses of the 12 previous taken branches".
+//
+// Histories are updated speculatively at prediction time; Snapshot and
+// Restore support repairing them when a misprediction restarts the search
+// pipeline.
+package history
+
+import "bulkpreload/internal/zaddr"
+
+// Depth constants from the paper.
+const (
+	DirDepth       = 12 // predicted directions folded into the PHT index
+	TakenAddrDepth = 12 // taken-branch addresses retained (CTB uses all 12, PHT the newest 6)
+	PHTAddrDepth   = 6  // taken-branch addresses folded into the PHT index
+)
+
+// History is the global path history. The zero value is an empty history.
+type History struct {
+	// dirs holds the last DirDepth predicted directions; bit 0 is the
+	// most recent.
+	dirs uint16
+	// taken is a ring of the last TakenAddrDepth taken-branch addresses;
+	// head points at the most recent entry.
+	taken [TakenAddrDepth]zaddr.Addr
+	head  int
+	count int // number of valid taken entries, saturates at TakenAddrDepth
+}
+
+// Snapshot is an immutable copy of a History, used to repair state after
+// a pipeline restart.
+type Snapshot struct{ h History }
+
+// RecordPrediction shifts a predicted direction into the history; for
+// taken predictions the branch's instruction address is also recorded.
+func (h *History) RecordPrediction(addr zaddr.Addr, taken bool) {
+	h.dirs <<= 1
+	if taken {
+		h.dirs |= 1
+	}
+	h.dirs &= (1 << DirDepth) - 1
+	if taken {
+		h.head = (h.head + 1) % TakenAddrDepth
+		h.taken[h.head] = addr
+		if h.count < TakenAddrDepth {
+			h.count++
+		}
+	}
+}
+
+// Snapshot captures the current state.
+func (h *History) Snapshot() Snapshot { return Snapshot{h: *h} }
+
+// Restore rewinds the history to a prior snapshot.
+func (h *History) Restore(s Snapshot) { *h = s.h }
+
+// Reset clears all history.
+func (h *History) Reset() { *h = History{} }
+
+// fold XOR-folds a 64-bit value down to width bits.
+func fold(v uint64, width uint) uint64 {
+	var out uint64
+	for v != 0 {
+		out ^= v & ((1 << width) - 1)
+		v >>= width
+	}
+	return out
+}
+
+// recentTaken returns the i-th most recent taken address (i = 0 is the
+// newest); ok is false when fewer than i+1 taken branches have occurred.
+func (h *History) recentTaken(i int) (zaddr.Addr, bool) {
+	if i >= h.count {
+		return 0, false
+	}
+	idx := (h.head - i + TakenAddrDepth) % TakenAddrDepth
+	return h.taken[idx], true
+}
+
+// PHTIndex computes the PHT congruence class for the branch at addr in a
+// table of the given size (power of two). The index mixes the branch
+// address with the 12-direction history and the 6 most recent
+// taken-branch addresses, each rotated by age so that path order matters.
+func (h *History) PHTIndex(addr zaddr.Addr, entries int) int {
+	width := log2(entries)
+	v := fold(uint64(addr)>>1, width) ^ uint64(h.dirs)
+	for i := 0; i < PHTAddrDepth; i++ {
+		a, ok := h.recentTaken(i)
+		if !ok {
+			break
+		}
+		v ^= rotl(fold(uint64(a)>>1, width), uint(i+1), width)
+	}
+	return int(v & uint64(entries-1))
+}
+
+// CTBIndex computes the CTB congruence class for the branch at addr: the
+// path of the 12 previous taken-branch addresses, mixed with the branch
+// address.
+func (h *History) CTBIndex(addr zaddr.Addr, entries int) int {
+	width := log2(entries)
+	v := fold(uint64(addr)>>1, width)
+	for i := 0; i < TakenAddrDepth; i++ {
+		a, ok := h.recentTaken(i)
+		if !ok {
+			break
+		}
+		v ^= rotl(fold(uint64(a)>>1, width), uint(i+1), width)
+	}
+	return int(v & uint64(entries-1))
+}
+
+// DirBits returns the raw direction history register (diagnostics/tests).
+func (h *History) DirBits() uint16 { return h.dirs }
+
+// TakenDepthUsed returns how many taken addresses are currently recorded.
+func (h *History) TakenDepthUsed() int { return h.count }
+
+func rotl(v uint64, by, width uint) uint64 {
+	by %= width
+	mask := uint64(1)<<width - 1
+	return ((v << by) | (v >> (width - by))) & mask
+}
+
+func log2(n int) uint {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("history: table size must be a positive power of two")
+	}
+	var w uint
+	for n > 1 {
+		n >>= 1
+		w++
+	}
+	return w
+}

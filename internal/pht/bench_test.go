@@ -1,0 +1,22 @@
+package pht
+
+import (
+	"testing"
+
+	"bulkpreload/internal/history"
+	"bulkpreload/internal/zaddr"
+)
+
+func BenchmarkLookupUpdate(b *testing.B) {
+	p := New(DefaultEntries)
+	var h history.History
+	for i := 0; i < 64; i++ {
+		h.RecordPrediction(zaddr.Addr(0x1000+8*i), i%2 == 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := zaddr.Addr(0x4000 + (i%512)*8)
+		p.Lookup(&h, a)
+		p.Update(&h, a, i%3 != 0)
+	}
+}

@@ -1,0 +1,95 @@
+// Package pht implements the tagged Pattern History Table of the zEC12
+// first-level branch predictor: 4,096 entries indexed by the direction of
+// the 12 previous predicted branches and the addresses of the 6 previous
+// taken branches, tagged with branch instruction address bits. It
+// overrides the per-entry bimodal direction for branches the BTB marks
+// UsePHT (branches exhibiting multiple directions) — the same family as
+// the tagged ppm-like predictors of Michaud.
+package pht
+
+import (
+	"bulkpreload/internal/bht"
+	"bulkpreload/internal/history"
+	"bulkpreload/internal/zaddr"
+)
+
+// DefaultEntries is the zEC12 PHT size.
+const DefaultEntries = 4096
+
+// tagBits is the number of branch-address bits stored as tag per entry.
+const tagBits = 10
+
+// entry is one tagged direction record.
+type entry struct {
+	valid bool
+	tag   uint16
+	dir   bht.Bimodal
+}
+
+// Stats counts PHT activity.
+type Stats struct {
+	Lookups  int64
+	Hits     int64 // tag matches
+	Installs int64
+	Updates  int64
+}
+
+// Table is the pattern history table.
+type Table struct {
+	entries []entry
+	stats   Stats
+}
+
+// New builds a PHT with the given entry count (power of two).
+func New(entries int) *Table {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("pht: entries must be a positive power of two")
+	}
+	return &Table{entries: make([]entry, entries)}
+}
+
+// Entries returns the table size.
+func (t *Table) Entries() int { return len(t.entries) }
+
+// Stats returns a copy of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+func tagOf(a zaddr.Addr) uint16 {
+	return uint16((uint64(a) >> 1) & ((1 << tagBits) - 1))
+}
+
+// Lookup returns the PHT's direction for the branch at addr under the
+// given path history. ok is false on a tag mismatch or invalid entry, in
+// which case the caller falls back to the BTB's bimodal direction.
+func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (taken bool, ok bool) {
+	t.stats.Lookups++
+	e := &t.entries[h.PHTIndex(addr, len(t.entries))]
+	if !e.valid || e.tag != tagOf(addr) {
+		return false, false
+	}
+	t.stats.Hits++
+	return e.dir.Taken(), true
+}
+
+// Update trains the entry for the branch at addr with a resolved
+// direction. On tag mismatch the entry is stolen (retagged and
+// re-initialized) — small tagged predictors reallocate on miss.
+func (t *Table) Update(h *history.History, addr zaddr.Addr, taken bool) {
+	e := &t.entries[h.PHTIndex(addr, len(t.entries))]
+	tag := tagOf(addr)
+	if e.valid && e.tag == tag {
+		e.dir = e.dir.Update(taken)
+		t.stats.Updates++
+		return
+	}
+	*e = entry{valid: true, tag: tag, dir: bht.Init(taken)}
+	t.stats.Installs++
+}
+
+// Reset invalidates every entry.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.stats = Stats{}
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/zaddr"
+)
+
+// blockStory collects the per-4KB-block lifecycle extracted from a
+// hierarchy event trace.
+type blockStory struct {
+	block        uint64
+	firstCycle   uint64
+	missCycle    uint64
+	icacheCycle  uint64
+	hasMiss      bool
+	hasICache    bool
+	transferHits int
+	firstHit     uint64
+	lastHit      uint64
+	chased       bool
+}
+
+// TransferTimeline renders the bulk-preload stories found in a hierarchy
+// event trace: for each 4 KB block with a reported BTB1 miss, when the
+// miss and the I-cache miss arrived, how many entries the transfer
+// delivered and over which cycle window — the paper's Section 3.6 flow
+// made visible. maxBlocks bounds the output (0 = all).
+func TransferTimeline(w io.Writer, events []core.Event, maxBlocks int) {
+	stories := map[uint64]*blockStory{}
+	order := []uint64{}
+	get := func(a zaddr.Addr, cycle uint64) *blockStory {
+		b := zaddr.Block(a)
+		s, ok := stories[b]
+		if !ok {
+			s = &blockStory{block: b, firstCycle: cycle}
+			stories[b] = s
+			order = append(order, b)
+		}
+		return s
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.EvMissReport:
+			s := get(ev.Addr, ev.Cycle)
+			if !s.hasMiss {
+				s.hasMiss = true
+				s.missCycle = ev.Cycle
+			}
+		case core.EvICacheReport:
+			s := get(ev.Addr, ev.Cycle)
+			if !s.hasICache {
+				s.hasICache = true
+				s.icacheCycle = ev.Cycle
+			}
+		case core.EvTransferHit:
+			s := get(ev.Addr, ev.Cycle)
+			if s.transferHits == 0 {
+				s.firstHit = ev.Cycle
+			}
+			s.transferHits++
+			s.lastHit = ev.Cycle
+		case core.EvChase:
+			get(ev.Addr, ev.Cycle).chased = true
+		}
+	}
+
+	// Only blocks with a miss story, in first-event order.
+	var shown []uint64
+	for _, b := range order {
+		if stories[b].hasMiss || stories[b].transferHits > 0 {
+			shown = append(shown, b)
+		}
+	}
+	sort.Slice(shown, func(i, j int) bool {
+		return stories[shown[i]].firstCycle < stories[shown[j]].firstCycle
+	})
+	if maxBlocks > 0 && len(shown) > maxBlocks {
+		shown = shown[:maxBlocks]
+	}
+
+	fmt.Fprintln(w, "bulk-preload timeline (per 4 KB block)")
+	for _, b := range shown {
+		s := stories[b]
+		fmt.Fprintf(w, "  block %#x:", b*zaddr.BlockBytes)
+		if s.hasICache {
+			fmt.Fprintf(w, " icache-miss @%d", s.icacheCycle)
+		}
+		if s.hasMiss {
+			fmt.Fprintf(w, " btb1-miss @%d", s.missCycle)
+		}
+		switch {
+		case s.transferHits > 0:
+			fmt.Fprintf(w, " -> %d entries preloaded @%d..%d", s.transferHits, s.firstHit, s.lastHit)
+		case s.hasMiss && !s.hasICache:
+			fmt.Fprintf(w, " -> partial search only (no icache miss), nothing found")
+		case s.hasMiss:
+			fmt.Fprintf(w, " -> full search, nothing found")
+		}
+		if s.chased {
+			fmt.Fprintf(w, " [chased]")
+		}
+		fmt.Fprintln(w)
+	}
+	if len(shown) == 0 {
+		fmt.Fprintln(w, "  (no transfer activity in the captured events)")
+	}
+}

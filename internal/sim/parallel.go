@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs fn(0..n-1) across min(n, GOMAXPROCS) goroutines.
+// Each index's work must be independent (every study builds its own
+// engine and workload instances), so results are deterministic
+// regardless of scheduling.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,249 @@
+// Package sim orchestrates simulation studies: the three Table 3
+// configurations, per-trace runs, comparisons between configurations
+// (Figure 2's improvement and BTB2-effectiveness metrics), and the
+// parameter sweeps of Figures 5-7.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"bulkpreload/internal/btb"
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/engine"
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/workload"
+)
+
+// Config names from Table 3.
+const (
+	ConfigNoBTB2  = "no-btb2"    // configuration 1: baseline
+	ConfigBTB2    = "btb2"       // configuration 2: two-level bulk preload
+	ConfigLargeL1 = "large-btb1" // configuration 3: unrealistically large BTB1
+)
+
+// Table3 returns the three simulated configurations of Table 3 keyed by
+// name.
+func Table3() map[string]core.Config {
+	return map[string]core.Config{
+		ConfigNoBTB2:  core.OneLevelConfig(),
+		ConfigBTB2:    core.DefaultConfig(),
+		ConfigLargeL1: core.LargeOneLevelConfig(),
+	}
+}
+
+// Comparison is the Figure 2 measurement for one trace: CPI improvements
+// of configurations 2 and 3 over configuration 1, and the BTB2
+// effectiveness ratio.
+type Comparison struct {
+	Trace     string
+	Base      engine.Result // configuration 1
+	BTB2      engine.Result // configuration 2
+	LargeBTB1 engine.Result // configuration 3
+}
+
+// BTB2Improvement returns the percent CPI improvement of the two-level
+// design over the baseline.
+func (c Comparison) BTB2Improvement() float64 { return c.BTB2.Improvement(c.Base) }
+
+// LargeImprovement returns the percent CPI improvement of the 24k BTB1
+// over the baseline.
+func (c Comparison) LargeImprovement() float64 { return c.LargeBTB1.Improvement(c.Base) }
+
+// Effectiveness returns the BTB2 effectiveness: "the ratio of the
+// improvement from adding the BTB2 compared to the improvement from
+// adding the unrealistically large BTB1".
+func (c Comparison) Effectiveness() float64 {
+	li := c.LargeImprovement()
+	if li == 0 {
+		return 0
+	}
+	return 100 * c.BTB2Improvement() / li
+}
+
+// String renders the comparison as a Figure 2 row.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%-26s BTB2 %+6.2f%%  largeBTB1 %+6.2f%%  effectiveness %5.1f%%",
+		c.Trace, c.BTB2Improvement(), c.LargeImprovement(), c.Effectiveness())
+}
+
+// Compare runs all three Table 3 configurations on one trace source.
+func Compare(src trace.Source, params engine.Params) Comparison {
+	return Comparison{
+		Trace:     src.Name(),
+		Base:      engine.Run(src, core.OneLevelConfig(), params, ConfigNoBTB2),
+		BTB2:      engine.Run(src, core.DefaultConfig(), params, ConfigBTB2),
+		LargeBTB1: engine.Run(src, core.LargeOneLevelConfig(), params, ConfigLargeL1),
+	}
+}
+
+// Figure2 runs the full Figure 2 study: all 13 Table 4 traces under the
+// three configurations, in parallel across traces (each comparison uses
+// private engine and workload instances, so results are deterministic).
+// instructions <= 0 uses the workload default.
+func Figure2(instructions int, params engine.Params) []Comparison {
+	profiles := workload.Table4Profiles(instructions)
+	out := make([]Comparison, len(profiles))
+	parallelFor(len(profiles), func(i int) {
+		out[i] = Compare(workload.New(profiles[i]), params)
+	})
+	return out
+}
+
+// AverageBTB2Improvement returns the mean BTB2 improvement across
+// comparisons (the quantity Figures 5-7 sweep).
+func AverageBTB2Improvement(cs []Comparison) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cs {
+		sum += c.BTB2Improvement()
+	}
+	return sum / float64(len(cs))
+}
+
+// AverageEffectiveness returns the mean BTB2 effectiveness.
+func AverageEffectiveness(cs []Comparison) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cs {
+		sum += c.Effectiveness()
+	}
+	return sum / float64(len(cs))
+}
+
+// SweepPoint is one x/y point of a Figure 5/6/7-style sweep: the average
+// BTB2 improvement at one parameter setting.
+type SweepPoint struct {
+	Label       string  // e.g. "24k (4k x 6)"
+	Value       float64 // numeric parameter value (plot x)
+	Improvement float64 // average CPI improvement vs configuration 1
+	Shipping    bool    // the setting chosen for the hardware
+}
+
+// btb2Geometry builds a BTB2 btb.Config with the given rows (ways fixed
+// at 6, 32-byte rows). rows must be a power of two >= 64.
+func btb2Geometry(rows int) btb.Config {
+	bits := 0
+	for r := rows; r > 1; r >>= 1 {
+		bits++
+	}
+	hi := uint(58 - bits + 1)
+	return btb.Config{Name: "BTB2", Rows: rows, Ways: 6, IndexHi: hi, IndexLo: 58}
+}
+
+// SweepBTB2Size reproduces Figure 5: the average improvement as the BTB2
+// capacity varies. Sizes are total branch capacities (rows x 6).
+func SweepBTB2Size(profiles []workload.Profile, params engine.Params, rowCounts []int) []SweepPoint {
+	var out []SweepPoint
+	base := core.OneLevelConfig()
+	for _, rows := range rowCounts {
+		cfg := core.DefaultConfig()
+		cfg.BTB2 = btb2Geometry(rows)
+		imp := averageImprovement(profiles, params, base, cfg)
+		out = append(out, SweepPoint{
+			Label:       fmt.Sprintf("%dk (%d x 6)", rows*6/1024, rows),
+			Value:       float64(rows * 6),
+			Improvement: imp,
+			Shipping:    rows == 4096,
+		})
+	}
+	return out
+}
+
+// SweepMissDefinition reproduces Figure 6: the average improvement as the
+// BTB1-miss search limit varies (the shipping design uses 4 searches /
+// 128 bytes).
+func SweepMissDefinition(profiles []workload.Profile, params engine.Params, limits []int) []SweepPoint {
+	var out []SweepPoint
+	base := core.OneLevelConfig()
+	for _, lim := range limits {
+		cfg := core.DefaultConfig()
+		cfg.Miss.SearchLimit = lim
+		imp := averageImprovement(profiles, params, base, cfg)
+		out = append(out, SweepPoint{
+			Label:       fmt.Sprintf("%d searches (%dB)", lim, lim*32),
+			Value:       float64(lim),
+			Improvement: imp,
+			Shipping:    lim == 4,
+		})
+	}
+	return out
+}
+
+// SweepTrackers reproduces Figure 7: the average improvement as the
+// number of BTB2 search trackers varies (the shipping design uses 3).
+func SweepTrackers(profiles []workload.Profile, params engine.Params, counts []int) []SweepPoint {
+	var out []SweepPoint
+	base := core.OneLevelConfig()
+	for _, n := range counts {
+		cfg := core.DefaultConfig()
+		cfg.Tracker.Count = n
+		imp := averageImprovement(profiles, params, base, cfg)
+		out = append(out, SweepPoint{
+			Label:       fmt.Sprintf("%d trackers", n),
+			Value:       float64(n),
+			Improvement: imp,
+			Shipping:    n == 3,
+		})
+	}
+	return out
+}
+
+// averageImprovement runs base and variant configs over all profiles (in
+// parallel) and averages the CPI improvement.
+func averageImprovement(profiles []workload.Profile, params engine.Params, base, variant core.Config) float64 {
+	imps := make([]float64, len(profiles))
+	parallelFor(len(profiles), func(i int) {
+		src := workload.New(profiles[i])
+		b := engine.Run(src, base, params, "base")
+		v := engine.Run(src, variant, params, "variant")
+		imps[i] = v.Improvement(b)
+	})
+	sum := 0.0
+	for _, imp := range imps {
+		sum += imp
+	}
+	return sum / float64(len(profiles))
+}
+
+// Ablation is one named design-choice variation and its average
+// improvement (relative to configuration 1, like the figures).
+type Ablation struct {
+	Name        string
+	Improvement float64
+}
+
+// Ablations runs the design-choice studies DESIGN.md calls out: steering
+// off, I-cache filter off, exclusivity policies, and the not-taken
+// install knob.
+func Ablations(profiles []workload.Profile, params engine.Params) []Ablation {
+	base := core.OneLevelConfig()
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"shipping (semi-exclusive, steered, filtered)", func(*core.Config) {}},
+		{"steering disabled (sequential transfers)", func(c *core.Config) { c.UseSteering = false }},
+		{"i-cache filter disabled (all misses full search)", func(c *core.Config) { c.Tracker.FilterByICache = false }},
+		{"true-exclusive policy", func(c *core.Config) { c.Policy = core.TrueExclusive }},
+		{"inclusive policy", func(c *core.Config) { c.Policy = core.Inclusive }},
+		{"install not-taken surprises", func(c *core.Config) { c.InstallNotTaken = true }},
+		{"BTBP bypassed (installs pollute BTB1)", func(c *core.Config) { c.BypassBTBP = true }},
+		{"multi-block transfer chase", func(c *core.Config) { c.MultiBlockTransfer = true }},
+	}
+	var out []Ablation
+	for _, v := range variants {
+		cfg := core.DefaultConfig()
+		v.mutate(&cfg)
+		out = append(out, Ablation{
+			Name:        v.name,
+			Improvement: averageImprovement(profiles, params, base, cfg),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Improvement > out[j].Improvement })
+	return out
+}

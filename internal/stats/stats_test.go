@@ -1,0 +1,93 @@
+package stats
+
+import "testing"
+
+func TestOutcomeStrings(t *testing.T) {
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if o.String() == "" {
+			t.Errorf("outcome %d has empty string", o)
+		}
+	}
+	if Outcome(99).String() != "Outcome(99)" {
+		t.Error("unknown outcome string wrong")
+	}
+}
+
+func TestBadClassification(t *testing.T) {
+	// Figure 4: bad outcomes are dynamic mispredicts plus surprise
+	// branches guessed or resolved taken.
+	good := []Outcome{GoodPredicted, GoodSurpriseNT}
+	bad := []Outcome{BadWrongDir, BadWrongTarget, BadSurpriseCompulsory,
+		BadSurpriseLatency, BadSurpriseCapacity}
+	for _, o := range good {
+		if o.Bad() {
+			t.Errorf("%v classified bad", o)
+		}
+	}
+	for _, o := range bad {
+		if !o.Bad() {
+			t.Errorf("%v classified good", o)
+		}
+	}
+}
+
+func TestSurpriseClassification(t *testing.T) {
+	surprises := []Outcome{GoodSurpriseNT, BadSurpriseCompulsory,
+		BadSurpriseLatency, BadSurpriseCapacity}
+	for _, o := range surprises {
+		if !o.Surprise() {
+			t.Errorf("%v not classified surprise", o)
+		}
+	}
+	for _, o := range []Outcome{GoodPredicted, BadWrongDir, BadWrongTarget} {
+		if o.Surprise() {
+			t.Errorf("%v classified surprise", o)
+		}
+	}
+}
+
+func TestCountsArithmetic(t *testing.T) {
+	var c Counts
+	c.Add(GoodPredicted)
+	c.Add(GoodPredicted)
+	c.Add(GoodSurpriseNT)
+	c.Add(BadWrongDir)
+	c.Add(BadWrongTarget)
+	c.Add(BadSurpriseCapacity)
+	if c.Total() != 6 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.Bad() != 3 {
+		t.Errorf("Bad = %d", c.Bad())
+	}
+	if c.BadRate() != 0.5 {
+		t.Errorf("BadRate = %v", c.BadRate())
+	}
+	if c.Rate(GoodPredicted) != 2.0/6.0 {
+		t.Errorf("Rate = %v", c.Rate(GoodPredicted))
+	}
+	if c.Mispredicted() != 2 {
+		t.Errorf("Mispredicted = %d", c.Mispredicted())
+	}
+	if c.BadSurprises() != 1 {
+		t.Errorf("BadSurprises = %d", c.BadSurprises())
+	}
+}
+
+func TestEmptyCounts(t *testing.T) {
+	var c Counts
+	if c.BadRate() != 0 || c.Rate(GoodPredicted) != 0 || c.Total() != 0 {
+		t.Error("empty counts not zero")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Counts
+	a.Add(GoodPredicted)
+	b.Add(GoodPredicted)
+	b.Add(BadWrongDir)
+	a.Merge(b)
+	if a.N[GoodPredicted] != 2 || a.N[BadWrongDir] != 1 {
+		t.Errorf("Merge wrong: %+v", a)
+	}
+}

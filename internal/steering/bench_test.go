@@ -1,0 +1,33 @@
+package steering
+
+import (
+	"testing"
+
+	"bulkpreload/internal/zaddr"
+)
+
+func BenchmarkObserveComplete(b *testing.B) {
+	t := NewDefault()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Walk addresses across blocks so flushes and sector marking both
+		// run.
+		t.ObserveComplete(zaddr.Addr(0x100000 + (i%100000)*36))
+	}
+}
+
+func BenchmarkOrder(b *testing.B) {
+	t := NewDefault()
+	// Train a handful of blocks.
+	for blk := 0; blk < 16; blk++ {
+		base := zaddr.Addr(0x100000 + blk*zaddr.BlockBytes)
+		for s := 0; s < 8; s++ {
+			t.ObserveComplete(base + zaddr.Addr(s*zaddr.SectorBytes))
+		}
+		t.ObserveComplete(0x900000) // flush
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Order(zaddr.Addr(0x100000 + (i%16)*zaddr.BlockBytes + 2*zaddr.SectorBytes))
+	}
+}

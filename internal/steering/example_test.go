@@ -1,0 +1,28 @@
+package steering_test
+
+import (
+	"fmt"
+
+	"bulkpreload/internal/steering"
+	"bulkpreload/internal/zaddr"
+)
+
+// Example shows the Section 3.7 transfer ordering: after a visit that
+// entered a block in quartile 0 and referenced quartile 2, a re-entry
+// search returns the demand quartile's active sectors first, then the
+// referenced quartile's.
+func Example() {
+	t := steering.NewDefault()
+	block := zaddr.Addr(0x10000)
+
+	// Execute sectors 0 and 1 (quartile 0), then 16 and 17 (quartile 2).
+	for _, sector := range []int{0, 1, 16, 17} {
+		t.ObserveComplete(block + zaddr.Addr(sector*zaddr.SectorBytes))
+	}
+	t.ObserveComplete(0x90000) // leaving the block stores the visit
+
+	order := t.Order(block) // re-entry at sector 0
+	fmt.Println("first six sectors transferred:", order[:6])
+	// Output:
+	// first six sectors transferred: [0 1 16 17 2 3]
+}

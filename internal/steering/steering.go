@@ -1,0 +1,304 @@
+// Package steering implements the BTB2 search-steering ordering table of
+// Section 3.7. When a 4 KB block is bulk-transferred out of the BTB2,
+// transferring its 128 rows in plain sequential order wastes cycles on
+// code the block's control flow never reaches; the ordering table records
+// which 128-byte sectors of each block actually completed instructions,
+// and which quartiles the entry (demand) quartile handed control to, and
+// uses that to return the likely-useful sectors first.
+//
+// Geometry from the paper: 512 entries, 2-way set associative, one entry
+// per 4 KB block (2 MB reach). Each entry holds, per 1 KB quartile, eight
+// 1-bit sector marks and three cross-quartile reference marks.
+package steering
+
+import (
+	"fmt"
+
+	"bulkpreload/internal/zaddr"
+)
+
+// Default geometry from the paper.
+const (
+	DefaultEntries = 512
+	DefaultWays    = 2
+)
+
+// quartileInfo is the per-quartile tracking state: which of its eight
+// sectors saw an instruction complete, and which *other* quartiles were
+// entered while this quartile was the demand quartile ("three markings to
+// denote a reference to the other quartiles").
+type quartileInfo struct {
+	sectors uint8 // bit s = sector s of this quartile was active
+	refs    uint8 // bit q = quartile q referenced from here (self unused)
+}
+
+type entry struct {
+	valid bool
+	tag   uint64
+	q     [zaddr.QuartilesPerBlock]quartileInfo
+}
+
+// Stats counts ordering-table activity.
+type Stats struct {
+	Lookups  int64
+	Hits     int64
+	Installs int64
+	Merges   int64 // block-exit merges into an existing entry
+}
+
+// Table is the tagged ordering table plus the live tracking state for the
+// block currently being executed.
+type Table struct {
+	sets  int
+	ways  int
+	ents  []entry // sets x ways
+	order []uint8 // recency per set (rank 0 = MRU)
+	stats Stats
+
+	// Live tracking (Section 3.7: maintained "as a function of
+	// instruction checkpoint" until another block is entered).
+	curValid  bool
+	curBlock  uint64
+	curDemand int // demand quartile of the current visit
+	cur       [zaddr.QuartilesPerBlock]quartileInfo
+}
+
+// New builds an ordering table with the given total entry count and
+// associativity.
+func New(entries, ways int) *Table {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("steering: bad geometry %d/%d", entries, ways))
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("steering: set count must be a power of two")
+	}
+	t := &Table{
+		sets:  sets,
+		ways:  ways,
+		ents:  make([]entry, entries),
+		order: make([]uint8, entries),
+	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			t.order[s*ways+w] = uint8(w)
+		}
+	}
+	return t
+}
+
+// NewDefault builds the paper's 512-entry 2-way table.
+func NewDefault() *Table { return New(DefaultEntries, DefaultWays) }
+
+// Stats returns a copy of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+func (t *Table) setAndTag(block uint64) (int, uint64) {
+	return int(block & uint64(t.sets-1)), block >> uint(log2(t.sets))
+}
+
+// ObserveComplete feeds one completed instruction address into the live
+// tracking state. Crossing into a different 4 KB block flushes the
+// accumulated state of the previous block into the tagged array and
+// begins a new visit whose entry quartile becomes the demand quartile.
+func (t *Table) ObserveComplete(a zaddr.Addr) {
+	block := zaddr.Block(a)
+	q := zaddr.Quartile(a)
+	if !t.curValid || block != t.curBlock {
+		t.flush()
+		t.curValid = true
+		t.curBlock = block
+		t.curDemand = q
+		t.cur = [zaddr.QuartilesPerBlock]quartileInfo{}
+		// Returning to a known block: retrieve and continue updating.
+		if e := t.find(block); e != nil {
+			t.cur = e.q
+		}
+	}
+	// Mark the sector active.
+	sector := zaddr.Sector(a)
+	within := uint(sector % zaddr.SectorsPerQuartile)
+	t.cur[q].sectors |= 1 << within
+	// Entering a quartile other than the demand quartile marks the
+	// reference bit in the demand quartile.
+	if q != t.curDemand {
+		t.cur[t.curDemand].refs |= 1 << uint(q)
+	}
+}
+
+// flush stores the live visit state into the tagged array.
+func (t *Table) flush() {
+	if !t.curValid {
+		return
+	}
+	block := t.curBlock
+	if e := t.find(block); e != nil {
+		for i := range e.q {
+			e.q[i].sectors |= t.cur[i].sectors
+			e.q[i].refs |= t.cur[i].refs
+		}
+		t.stats.Merges++
+		t.touch(block)
+		return
+	}
+	set, tag := t.setAndTag(block)
+	base := set * t.ways
+	way := -1
+	for w := 0; w < t.ways; w++ {
+		if !t.ents[base+w].valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = int(t.order[base+t.ways-1]) // LRU
+	}
+	t.ents[base+way] = entry{valid: true, tag: tag, q: t.cur}
+	t.stats.Installs++
+	t.promote(set, way)
+}
+
+func (t *Table) find(block uint64) *entry {
+	set, tag := t.setAndTag(block)
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		e := &t.ents[base+w]
+		if e.valid && e.tag == tag {
+			return e
+		}
+	}
+	return nil
+}
+
+func (t *Table) touch(block uint64) {
+	set, tag := t.setAndTag(block)
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		if e := &t.ents[base+w]; e.valid && e.tag == tag {
+			t.promote(set, w)
+			return
+		}
+	}
+}
+
+func (t *Table) promote(set, w int) {
+	base := set * t.ways
+	ord := t.order[base : base+t.ways]
+	pos := 0
+	for ; pos < len(ord); pos++ {
+		if int(ord[pos]) == w {
+			break
+		}
+	}
+	copy(ord[1:pos+1], ord[0:pos])
+	ord[0] = uint8(w)
+}
+
+// snapshotFor returns the stored quartile info for block, folding in the
+// live state if the block is the one currently being tracked.
+func (t *Table) snapshotFor(block uint64) ([zaddr.QuartilesPerBlock]quartileInfo, bool) {
+	var q [zaddr.QuartilesPerBlock]quartileInfo
+	found := false
+	if e := t.find(block); e != nil {
+		q = e.q
+		found = true
+	}
+	if t.curValid && t.curBlock == block {
+		for i := range q {
+			q[i].sectors |= t.cur[i].sectors
+			q[i].refs |= t.cur[i].refs
+		}
+		found = true
+	}
+	return q, found
+}
+
+// Order computes the sector transfer order for a BTB2 bulk search of the
+// block containing entryAddr, entered at entryAddr. The returned slice is
+// a permutation of the 32 sector indices. On a table hit the paper's
+// priority applies:
+//
+//  1. active sectors of the demand quartile,
+//  2. active sectors of quartiles referenced from the demand quartile,
+//  3. all remaining active sectors,
+//  4. the same three classes again for inactive sectors.
+//
+// On a miss, sectors are returned sequentially beginning with the demand
+// quartile (wrapping around the block). Within every class, sectors are
+// visited starting from the entry sector's position and wrapping, so the
+// code about to execute is transferred soonest.
+func (t *Table) Order(entryAddr zaddr.Addr) []int {
+	t.stats.Lookups++
+	block := zaddr.Block(entryAddr)
+	demand := zaddr.Quartile(entryAddr)
+	entrySector := zaddr.Sector(entryAddr)
+	q, ok := t.snapshotFor(block)
+	if !ok {
+		// Sequential from the demand quartile's entry point.
+		out := make([]int, 0, zaddr.SectorsPerBlock)
+		for i := 0; i < zaddr.SectorsPerBlock; i++ {
+			out = append(out, (entrySector+i)%zaddr.SectorsPerBlock)
+		}
+		return out
+	}
+	t.stats.Hits++
+
+	active := func(s int) bool {
+		qi := zaddr.SectorQuartile(s)
+		return q[qi].sectors&(1<<uint(s%zaddr.SectorsPerQuartile)) != 0
+	}
+	inDemand := func(s int) bool { return zaddr.SectorQuartile(s) == demand }
+	referenced := func(s int) bool {
+		return q[demand].refs&(1<<uint(zaddr.SectorQuartile(s))) != 0 && !inDemand(s)
+	}
+
+	// classOf maps a sector to its priority class 0..5.
+	classOf := func(s int) int {
+		base := 0
+		if !active(s) {
+			base = 3
+		}
+		switch {
+		case inDemand(s):
+			return base
+		case referenced(s):
+			return base + 1
+		default:
+			return base + 2
+		}
+	}
+
+	out := make([]int, 0, zaddr.SectorsPerBlock)
+	for class := 0; class < 6; class++ {
+		for i := 0; i < zaddr.SectorsPerBlock; i++ {
+			s := (entrySector + i) % zaddr.SectorsPerBlock
+			if classOf(s) == class {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// Reset clears the table and the live tracking state.
+func (t *Table) Reset() {
+	for i := range t.ents {
+		t.ents[i] = entry{}
+	}
+	for s := 0; s < t.sets; s++ {
+		for w := 0; w < t.ways; w++ {
+			t.order[s*t.ways+w] = uint8(w)
+		}
+	}
+	t.curValid = false
+	t.stats = Stats{}
+}
+
+func log2(n int) int {
+	w := 0
+	for n > 1 {
+		n >>= 1
+		w++
+	}
+	return w
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"bulkpreload/internal/zaddr"
+)
+
+// Binary trace file format ("ZBPT", version 2):
+//
+//	header:  magic "ZBPT" | u16 version | u16 name length | name bytes |
+//	         u64 record count
+//	records: u64 addr | u64 target | u64 hint branch | u8 length |
+//	         u8 kind | u8 flags
+//
+// flags bit 0 = taken, bit 1 = static-taken. All integers little-endian.
+// The hint-branch field is nonzero only for PreloadHint records. The
+// format exists so that generated workloads can be exported and
+// re-consumed without regeneration (cmd/tracegen writes, ReadFile
+// loads).
+
+const (
+	fileMagic   = "ZBPT"
+	fileVersion = 2
+	recordSize  = 8 + 8 + 8 + 1 + 1 + 1 // addr, target, hint branch, length, kind, flags
+)
+
+// ErrBadTrace reports a structurally invalid trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Write serializes all instructions from src to w in ZBPT format. It
+// resets src, makes one counting pass, resets again and streams records.
+func Write(w io.Writer, src Source) (int64, error) {
+	ins := Collect(src)
+	return WriteSlice(w, src.Name(), ins)
+}
+
+// WriteSlice serializes ins to w in ZBPT format under the given name.
+func WriteSlice(w io.Writer, name string, ins []Inst) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return written, err
+	}
+	written += int64(len(fileMagic))
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], fileVersion)
+	if len(name) > 1<<16-1 {
+		return written, fmt.Errorf("trace: name too long (%d bytes)", len(name))
+	}
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return written, err
+	}
+	written += 4
+	if _, err := bw.WriteString(name); err != nil {
+		return written, err
+	}
+	written += int64(len(name))
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(ins)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return written, err
+	}
+	written += 8
+	var rec [recordSize]byte
+	for i := range ins {
+		in := &ins[i]
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(in.Addr))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(in.Target))
+		binary.LittleEndian.PutUint64(rec[16:24], uint64(in.HintBranch))
+		rec[24] = in.Length
+		rec[25] = uint8(in.Kind)
+		var flags uint8
+		if in.Taken {
+			flags |= 1
+		}
+		if in.StaticTaken {
+			flags |= 2
+		}
+		rec[26] = flags
+		if _, err := bw.Write(rec[:]); err != nil {
+			return written, err
+		}
+		written += recordSize
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a full ZBPT stream from r, validating every record.
+func Read(r io.Reader) (name string, ins []Inst, err error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return "", nil, fmt.Errorf("%w: missing magic: %v", ErrBadTrace, err)
+	}
+	if string(magic) != fileMagic {
+		return "", nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated header: %v", ErrBadTrace, err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != fileVersion {
+		return "", nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated name: %v", ErrBadTrace, err)
+	}
+	name = string(nameBytes)
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated count: %v", ErrBadTrace, err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	const maxRecords = 1 << 31
+	if n > maxRecords {
+		return "", nil, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, n)
+	}
+	ins = make([]Inst, 0, n)
+	var rec [recordSize]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return "", nil, fmt.Errorf("%w: truncated record %d: %v", ErrBadTrace, i, err)
+		}
+		in := Inst{
+			Addr:        zaddr.Addr(binary.LittleEndian.Uint64(rec[0:8])),
+			Target:      zaddr.Addr(binary.LittleEndian.Uint64(rec[8:16])),
+			HintBranch:  zaddr.Addr(binary.LittleEndian.Uint64(rec[16:24])),
+			Length:      rec[24],
+			Kind:        Kind(rec[25]),
+			Taken:       rec[26]&1 != 0,
+			StaticTaken: rec[26]&2 != 0,
+		}
+		if err := in.Validate(); err != nil {
+			return "", nil, fmt.Errorf("%w: record %d: %v", ErrBadTrace, i, err)
+		}
+		ins = append(ins, in)
+	}
+	return name, ins, nil
+}
+
+// WriteFile writes src to the named file in ZBPT format.
+func WriteFile(path string, src Source) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := Write(f, src); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads the named ZBPT file as a SliceSource.
+func ReadFile(path string) (*SliceSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name, ins, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return NewSliceSource(name, ins), nil
+}

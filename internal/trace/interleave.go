@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InterleaveSource time-slices several sources onto one logical
+// processor in round-robin quanta, modelling the multiprogrammed
+// operation the paper's Table 4 includes ("a mix of two of the LSPR
+// workloads time sliced on one processor", trace 5) and the inter-thread
+// BTB aliasing its background section discusses. Exhausted sources drop
+// out of the rotation; the stream ends when all are exhausted.
+type InterleaveSource struct {
+	name    string
+	srcs    []Source
+	quantum int
+
+	cur    int
+	inQ    int
+	done   []bool
+	nDone  int
+	primed []Inst
+	valid  []bool
+}
+
+// NewInterleaveSource builds an interleaved source with the given
+// per-source quantum (instructions per time slice).
+func NewInterleaveSource(quantum int, srcs ...Source) *InterleaveSource {
+	if quantum <= 0 {
+		panic("trace: interleave quantum must be positive")
+	}
+	if len(srcs) == 0 {
+		panic("trace: interleave needs at least one source")
+	}
+	names := make([]string, len(srcs))
+	for i, s := range srcs {
+		names[i] = s.Name()
+	}
+	is := &InterleaveSource{
+		name:    fmt.Sprintf("mix(%s)", strings.Join(names, "+")),
+		srcs:    srcs,
+		quantum: quantum,
+	}
+	is.Reset()
+	return is
+}
+
+// Name implements Source.
+func (is *InterleaveSource) Name() string { return is.name }
+
+// Reset implements Source.
+func (is *InterleaveSource) Reset() {
+	for _, s := range is.srcs {
+		s.Reset()
+	}
+	is.cur = 0
+	is.inQ = 0
+	is.done = make([]bool, len(is.srcs))
+	is.nDone = 0
+	is.primed = make([]Inst, len(is.srcs))
+	is.valid = make([]bool, len(is.srcs))
+}
+
+// rotate advances to the next live source.
+func (is *InterleaveSource) rotate() {
+	is.inQ = 0
+	for i := 1; i <= len(is.srcs); i++ {
+		n := (is.cur + i) % len(is.srcs)
+		if !is.done[n] {
+			is.cur = n
+			return
+		}
+	}
+}
+
+// Next implements Source.
+func (is *InterleaveSource) Next() (Inst, bool) {
+	for is.nDone < len(is.srcs) {
+		if is.done[is.cur] {
+			is.rotate()
+			continue
+		}
+		if is.inQ >= is.quantum {
+			is.rotate()
+			continue
+		}
+		in, ok := is.srcs[is.cur].Next()
+		if !ok {
+			is.done[is.cur] = true
+			is.nDone++
+			is.rotate()
+			continue
+		}
+		is.inQ++
+		return in, true
+	}
+	return Inst{}, false
+}
+
+var _ Source = (*InterleaveSource)(nil)

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"testing"
+
+	"bulkpreload/internal/zaddr"
+)
+
+func seqSource(name string, base zaddr.Addr, n int) *SliceSource {
+	ins := make([]Inst, n)
+	for i := range ins {
+		ins[i] = Inst{Addr: base + zaddr.Addr(4*i), Length: 4, Kind: NotBranch}
+	}
+	return NewSliceSource(name, ins)
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := seqSource("a", 0x1000, 6)
+	b := seqSource("b", 0x9000, 6)
+	is := NewInterleaveSource(2, a, b)
+	if is.Name() != "mix(a+b)" {
+		t.Errorf("name = %q", is.Name())
+	}
+	var owners []byte
+	for {
+		in, ok := is.Next()
+		if !ok {
+			break
+		}
+		if in.Addr >= 0x9000 {
+			owners = append(owners, 'b')
+		} else {
+			owners = append(owners, 'a')
+		}
+	}
+	want := "aabbaabbaabb"
+	if string(owners) != want {
+		t.Errorf("interleave order %q, want %q", owners, want)
+	}
+}
+
+func TestInterleaveUnequalLengths(t *testing.T) {
+	a := seqSource("a", 0x1000, 3)
+	b := seqSource("b", 0x9000, 9)
+	is := NewInterleaveSource(2, a, b)
+	n := 0
+	for {
+		if _, ok := is.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 12 {
+		t.Errorf("total = %d, want 12 (no instruction lost)", n)
+	}
+}
+
+func TestInterleaveResetDeterministic(t *testing.T) {
+	mk := func() *InterleaveSource {
+		return NewInterleaveSource(3, seqSource("a", 0x1000, 10), seqSource("b", 0x9000, 7))
+	}
+	is := mk()
+	first := Collect(is)
+	second := Collect(is) // Collect resets
+	if len(first) != len(second) || len(first) != 17 {
+		t.Fatalf("lengths %d/%d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("record %d differs after Reset", i)
+		}
+	}
+}
+
+func TestInterleavePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewInterleaveSource(0, seqSource("a", 0, 1)) },
+		func() { NewInterleaveSource(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInterleaveSingleSource(t *testing.T) {
+	is := NewInterleaveSource(4, seqSource("solo", 0x1000, 10))
+	if got := len(Collect(is)); got != 10 {
+		t.Errorf("solo interleave lost instructions: %d", got)
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"bulkpreload/internal/zaddr"
+)
+
+// Stats summarizes the branch footprint of a trace. The two headline
+// numbers — unique branch instruction addresses and unique *ever-taken*
+// branch instruction addresses — are exactly the columns of Table 4 of
+// the paper; traces with more than 5,000 unique taken branch addresses
+// were the paper's candidates for BTB2 benefit.
+type Stats struct {
+	Name string
+
+	Instructions int64 // total dynamic instructions
+	Branches     int64 // dynamic branch executions
+	TakenBr      int64 // dynamic taken branch executions
+
+	UniqueBranches int // unique branch instruction addresses
+	UniqueTaken    int // unique ever-taken branch instruction addresses
+
+	CodeBytes      int64 // distinct instruction bytes touched (footprint)
+	Blocks4K       int   // distinct 4 KB blocks touched
+	KindCounts     [numKinds]int64
+	ChangingTarget int // taken branch sites observed with >1 target
+}
+
+// LargeFootprint reports whether the trace meets the paper's threshold
+// for a BTB2-benefit candidate (more than 5,000 unique taken branch
+// instruction addresses).
+func (s Stats) LargeFootprint() bool { return s.UniqueTaken > 5000 }
+
+// TakenRate returns the fraction of dynamic branches resolved taken.
+func (s Stats) TakenRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.TakenBr) / float64(s.Branches)
+}
+
+// BranchDensity returns dynamic branches per instruction.
+func (s Stats) BranchDensity() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Branches) / float64(s.Instructions)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d insts, %d uniq branches (%d ever-taken), %.1f%% taken, %d 4KB blocks",
+		s.Name, s.Instructions, s.UniqueBranches, s.UniqueTaken, 100*s.TakenRate(), s.Blocks4K)
+}
+
+// Measure makes one full pass over src and computes its Stats. The source
+// is Reset before and left exhausted after.
+func Measure(src Source) Stats {
+	src.Reset()
+	st := Stats{Name: src.Name()}
+	branchSeen := make(map[zaddr.Addr]bool)
+	takenSeen := make(map[zaddr.Addr]bool)
+	firstTarget := make(map[zaddr.Addr]zaddr.Addr)
+	changing := make(map[zaddr.Addr]bool)
+	codeBytes := make(map[zaddr.Addr]uint8) // inst addr -> length
+	blocks := make(map[uint64]bool)
+
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		st.Instructions++
+		st.KindCounts[in.Kind]++
+		codeBytes[in.Addr] = in.Length
+		blocks[zaddr.Block(in.Addr)] = true
+		if !in.IsBranch() {
+			continue
+		}
+		st.Branches++
+		branchSeen[in.Addr] = true
+		if in.Taken {
+			st.TakenBr++
+			takenSeen[in.Addr] = true
+			if prev, ok := firstTarget[in.Addr]; !ok {
+				firstTarget[in.Addr] = in.Target
+			} else if prev != in.Target && !changing[in.Addr] {
+				changing[in.Addr] = true
+				st.ChangingTarget++
+			}
+		}
+	}
+	st.UniqueBranches = len(branchSeen)
+	st.UniqueTaken = len(takenSeen)
+	st.Blocks4K = len(blocks)
+	for _, l := range codeBytes {
+		st.CodeBytes += int64(l)
+	}
+	return st
+}
+
+// TopBlocks returns the n most frequently executed 4 KB block numbers of
+// src, in descending execution-count order. Used by steering analyses.
+func TopBlocks(src Source, n int) []uint64 {
+	src.Reset()
+	counts := make(map[uint64]int64)
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		counts[zaddr.Block(in.Addr)]++
+	}
+	blocks := make([]uint64, 0, len(counts))
+	for b := range counts {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		if counts[blocks[i]] != counts[blocks[j]] {
+			return counts[blocks[i]] > counts[blocks[j]]
+		}
+		return blocks[i] < blocks[j]
+	})
+	if len(blocks) > n {
+		blocks = blocks[:n]
+	}
+	return blocks
+}

@@ -1,0 +1,402 @@
+// Package tracker implements the BTB2 search trackers of Section 3.6.
+// Three trackers each own one 4 KB block of address space and remember
+// two validity bits: a BTB1-miss indication and an instruction-cache-miss
+// indication for that block.
+//
+//   - BTB1 miss + I-cache miss (fully active): launch a full search of
+//     all 128 BTB2 rows of the block, ordered by the steering table.
+//   - BTB1 miss only: launch a partial search of the 4 rows (128 bytes)
+//     around the miss address; if the I-cache-miss bit is still invalid
+//     when the partial search completes, the tracker is invalidated.
+//   - I-cache miss only: no search.
+//
+// Timing: a search starts at the earliest 7 cycles after the miss is
+// detected (b3 -> b10); the BTB2 search pipeline is 8 cycles deep and
+// retires one row per cycle, so a full 4 KB transfer takes 128 + 8 = 136
+// cycles. The BTB2 has a single search port, so concurrent trackers
+// serialize row reads.
+package tracker
+
+import (
+	"fmt"
+
+	"bulkpreload/internal/zaddr"
+)
+
+// Orderer supplies the sector transfer order for a block entered at a
+// given address. *steering.Table satisfies it; tests substitute fixed
+// orders.
+type Orderer interface {
+	Order(entryAddr zaddr.Addr) []int
+}
+
+// Config fixes the tracker array and search timing parameters.
+type Config struct {
+	Count          int  // number of trackers (paper: 3)
+	PartialRows    int  // BTB2 rows searched by a partial search (paper: 4 = 128 B)
+	StartDelay     int  // cycles from miss detection to search start (paper: 7)
+	PipeDepth      int  // BTB2 search pipeline depth in cycles (paper: 8)
+	FilterByICache bool // gate full searches on I-cache misses (paper: true)
+	// RowBytes is the instruction bytes one BTB2 row covers (paper: 32;
+	// the future-work congruence-class study widens it to 64 or 128,
+	// which shortens full-block transfers proportionally). 0 selects 32.
+	RowBytes int
+}
+
+// rowBytes returns the effective row coverage.
+func (c Config) rowBytes() int {
+	if c.RowBytes == 0 {
+		return zaddr.RowBytes
+	}
+	return c.RowBytes
+}
+
+// RowsPerBlock returns how many BTB2 rows one 4 KB block spans.
+func (c Config) RowsPerBlock() int { return zaddr.BlockBytes / c.rowBytes() }
+
+// DefaultConfig is the shipping zEC12 configuration.
+var DefaultConfig = Config{
+	Count:          3,
+	PartialRows:    4,
+	StartDelay:     7,
+	PipeDepth:      8,
+	FilterByICache: true,
+}
+
+// Validate checks parameter sanity.
+func (c Config) Validate() error {
+	if c.Count <= 0 {
+		return fmt.Errorf("tracker: count %d must be positive", c.Count)
+	}
+	switch c.rowBytes() {
+	case 32, 64, 128:
+	default:
+		return fmt.Errorf("tracker: row bytes %d not one of 32/64/128", c.RowBytes)
+	}
+	if c.PartialRows <= 0 || c.PartialRows > c.RowsPerBlock() {
+		return fmt.Errorf("tracker: partial rows %d out of range", c.PartialRows)
+	}
+	if c.StartDelay < 0 || c.PipeDepth <= 0 {
+		return fmt.Errorf("tracker: invalid timing (delay %d, depth %d)", c.StartDelay, c.PipeDepth)
+	}
+	return nil
+}
+
+// Read is one scheduled BTB2 row read: search the BTB2 congruence class
+// for Line and write any hits into the BTBP when Ready arrives.
+type Read struct {
+	Line  zaddr.Addr // 32-byte row base address
+	Ready uint64     // cycle at which the row's hits reach the BTBP
+}
+
+// Stats counts tracker activity.
+type Stats struct {
+	BTB1Misses   int64 // miss reports delivered
+	ICacheMisses int64
+	Partial      int64 // partial searches launched
+	Full         int64 // full searches launched (incl. upgrades)
+	Upgrades     int64 // partial searches upgraded to full
+	Invalidated  int64 // partial searches whose tracker died un-upgraded
+	Dropped      int64 // miss reports dropped because all trackers were busy
+	RowsRead     int64 // total BTB2 row reads scheduled
+}
+
+type state uint8
+
+const (
+	idle          state = iota
+	icacheOnly          // I-cache miss bit only; no search
+	partialActive       // partial search scheduled/in flight
+	fullActive          // full search scheduled/in flight
+)
+
+type slot struct {
+	st        state
+	block     uint64
+	missAddr  zaddr.Addr // BTB1 miss address (search anchor)
+	icache    bool       // I-cache miss validity bit
+	lastReady uint64     // Ready of the final scheduled row
+	allocTime uint64
+	searched  [zaddr.RowsPerBlock / 64]uint64 // bitmap of rows already scheduled (sized for 32 B rows)
+}
+
+func (s *slot) markRow(row int)        { s.searched[row/64] |= 1 << uint(row%64) }
+func (s *slot) rowMarked(row int) bool { return s.searched[row/64]&(1<<uint(row%64)) != 0 }
+
+// Trackers is the tracker array plus the serialized BTB2 search port.
+type Trackers struct {
+	cfg   Config
+	ord   Orderer
+	slots []slot
+	// queue holds scheduled reads in Ready order (the single search port
+	// guarantees monotone Ready assignment).
+	queue []Read
+	// portFree is the next cycle at which the search port can accept a
+	// row read.
+	portFree uint64
+	stats    Stats
+}
+
+// New builds a tracker array; invalid config panics.
+func New(cfg Config, ord Orderer) *Trackers {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if ord == nil {
+		panic("tracker: nil Orderer")
+	}
+	return &Trackers{cfg: cfg, ord: ord, slots: make([]slot, cfg.Count)}
+}
+
+// Config returns the tracker configuration.
+func (t *Trackers) Config() Config { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *Trackers) Stats() Stats { return t.stats }
+
+// ActiveSearches returns the number of trackers with a search in flight.
+func (t *Trackers) ActiveSearches(now uint64) int {
+	n := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if (s.st == partialActive || s.st == fullActive) && s.lastReady > now {
+			n++
+		}
+	}
+	return n
+}
+
+// reap frees trackers whose searches have fully completed by now. A
+// partial search completing without an I-cache miss invalidates its
+// tracker; with one, the tracker upgrades (handled in OnICacheMiss, but a
+// late reap here catches the already-upgraded full searches too).
+func (t *Trackers) reap(now uint64) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		switch s.st {
+		case partialActive:
+			if now >= s.lastReady {
+				// Partial done; I-cache bit still invalid => invalidate.
+				if !s.icache {
+					t.stats.Invalidated++
+					*s = slot{}
+				} else {
+					// Upgrade raced with completion: finish as full.
+					t.upgrade(i, now)
+				}
+			}
+		case fullActive:
+			if now >= s.lastReady {
+				*s = slot{}
+			}
+		}
+	}
+}
+
+func (t *Trackers) findSlot(block uint64) int {
+	for i := range t.slots {
+		if t.slots[i].st != idle && t.slots[i].block == block {
+			return i
+		}
+	}
+	return -1
+}
+
+// allocate returns a slot index for a new tracker, preferring idle slots,
+// then the oldest I-cache-only tracker. -1 means every slot is running a
+// search and the event must be dropped.
+func (t *Trackers) allocate() int {
+	for i := range t.slots {
+		if t.slots[i].st == idle {
+			return i
+		}
+	}
+	best := -1
+	for i := range t.slots {
+		if t.slots[i].st == icacheOnly {
+			if best < 0 || t.slots[i].allocTime < t.slots[best].allocTime {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// OnBTB1Miss reports a perceived first-level miss detected at cycle now
+// with starting search address addr (Section 3.4's definition).
+func (t *Trackers) OnBTB1Miss(addr zaddr.Addr, now uint64) {
+	t.stats.BTB1Misses++
+	t.reap(now)
+	block := zaddr.Block(addr)
+	if i := t.findSlot(block); i >= 0 {
+		s := &t.slots[i]
+		switch s.st {
+		case icacheOnly:
+			// Fully active now: full search.
+			s.missAddr = addr
+			t.launchFull(i, now)
+		case partialActive, fullActive:
+			// Already searching this block; nothing further.
+		}
+		return
+	}
+	i := t.allocate()
+	if i < 0 {
+		t.stats.Dropped++
+		return
+	}
+	t.slots[i] = slot{block: block, missAddr: addr, allocTime: now}
+	if !t.cfg.FilterByICache {
+		// Ablation mode: every BTB1 miss earns a full search.
+		t.launchFull(i, now)
+		return
+	}
+	t.launchPartial(i, now)
+}
+
+// OnICacheMiss reports a first-level instruction cache miss at address
+// addr at cycle now.
+func (t *Trackers) OnICacheMiss(addr zaddr.Addr, now uint64) {
+	t.stats.ICacheMisses++
+	t.reap(now)
+	block := zaddr.Block(addr)
+	if i := t.findSlot(block); i >= 0 {
+		s := &t.slots[i]
+		if s.icache {
+			return
+		}
+		s.icache = true
+		if s.st == partialActive {
+			// BTB1 miss + I-cache miss: upgrade to a full search.
+			t.upgrade(i, now)
+		}
+		return
+	}
+	i := t.allocate()
+	if i < 0 {
+		t.stats.Dropped++
+		return
+	}
+	t.slots[i] = slot{st: icacheOnly, block: block, icache: true, allocTime: now}
+}
+
+// launchPartial schedules the partial search around the miss address
+// (PartialRows BTB2 rows, 128 bytes in the shipping geometry).
+func (t *Trackers) launchPartial(i int, now uint64) {
+	s := &t.slots[i]
+	s.st = partialActive
+	t.stats.Partial++
+	rb := t.cfg.rowBytes()
+	sectorBase := zaddr.Align(s.missAddr, zaddr.SectorBytes)
+	startRow := int(zaddr.BlockOffset(sectorBase)) / rb
+	rows := make([]int, 0, t.cfg.PartialRows)
+	for r := 0; r < t.cfg.PartialRows && startRow+r < t.cfg.RowsPerBlock(); r++ {
+		rows = append(rows, startRow+r)
+	}
+	t.schedule(i, rows, now)
+}
+
+// launchFull schedules a full-block search ordered by the steering table.
+func (t *Trackers) launchFull(i int, now uint64) {
+	s := &t.slots[i]
+	s.st = fullActive
+	t.stats.Full++
+	t.schedule(i, t.fullRowOrder(s), now)
+}
+
+// upgrade extends a partial search to the full block, skipping rows the
+// partial pass already covered.
+func (t *Trackers) upgrade(i int, now uint64) {
+	s := &t.slots[i]
+	s.st = fullActive
+	t.stats.Upgrades++
+	t.stats.Full++
+	t.schedule(i, t.fullRowOrder(s), now)
+}
+
+// fullRowOrder expands the steering sector order into row indices,
+// anchored at the tracker's miss address. Wider BTB2 rows cover several
+// 128-byte sectors each; duplicate rows are filtered by the schedule
+// bitmap.
+func (t *Trackers) fullRowOrder(s *slot) []int {
+	rb := t.cfg.rowBytes()
+	sectors := t.ord.Order(s.missAddr)
+	rows := make([]int, 0, t.cfg.RowsPerBlock())
+	if rb <= zaddr.SectorBytes {
+		perSector := zaddr.SectorBytes / rb
+		for _, sec := range sectors {
+			for r := 0; r < perSector; r++ {
+				rows = append(rows, sec*perSector+r)
+			}
+		}
+		return rows
+	}
+	// Row wider than a sector: one row per covered sector, first
+	// occurrence wins (the bitmap drops repeats).
+	for _, sec := range sectors {
+		rows = append(rows, sec*zaddr.SectorBytes/rb)
+	}
+	return rows
+}
+
+// schedule pushes row reads through the single search port. Rows already
+// scheduled for this tracker are skipped (upgrade path).
+func (t *Trackers) schedule(i int, rows []int, now uint64) {
+	s := &t.slots[i]
+	start := now + uint64(t.cfg.StartDelay)
+	if t.portFree > start {
+		start = t.portFree
+	}
+	blockBase := zaddr.Addr(s.block * zaddr.BlockBytes)
+	rb := t.cfg.rowBytes()
+	cycle := start
+	for _, row := range rows {
+		if s.rowMarked(row) {
+			continue
+		}
+		s.markRow(row)
+		ready := cycle + uint64(t.cfg.PipeDepth)
+		t.queue = append(t.queue, Read{
+			Line:  blockBase + zaddr.Addr(row*rb),
+			Ready: ready,
+		})
+		t.stats.RowsRead++
+		if ready > s.lastReady {
+			s.lastReady = ready
+		}
+		cycle++
+	}
+	t.portFree = cycle
+}
+
+// Drain returns (and removes) all scheduled reads whose Ready cycle is at
+// or before now, in Ready order. The caller performs the BTB2 lookups and
+// BTBP installs for each.
+func (t *Trackers) Drain(now uint64) []Read {
+	n := 0
+	for n < len(t.queue) && t.queue[n].Ready <= now {
+		n++
+	}
+	if n == 0 {
+		t.reap(now)
+		return nil
+	}
+	out := make([]Read, n)
+	copy(out, t.queue[:n])
+	t.queue = t.queue[:copy(t.queue, t.queue[n:])]
+	t.reap(now)
+	return out
+}
+
+// PendingReads returns the number of scheduled but undrained row reads.
+func (t *Trackers) PendingReads() int { return len(t.queue) }
+
+// Reset clears all trackers and the port state.
+func (t *Trackers) Reset() {
+	for i := range t.slots {
+		t.slots[i] = slot{}
+	}
+	t.queue = t.queue[:0]
+	t.portFree = 0
+	t.stats = Stats{}
+}

@@ -1,0 +1,37 @@
+package workload
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	p := smallProfile()
+	p.Instructions = 100_000
+	s := New(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		n := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != p.Instructions {
+			b.Fatalf("emitted %d", n)
+		}
+	}
+	b.ReportMetric(float64(p.Instructions), "insts/iter")
+}
+
+func BenchmarkCompileProgram(b *testing.B) {
+	p, err := ByName("zos-lspr-cicsdb2", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if New(p) == nil {
+			b.Fatal("nil source")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/zaddr"
+)
+
+// Disassemble writes a human-readable listing of the compiled program's
+// first maxFns functions: addresses, pseudo-mnemonics, targets and
+// behavioural annotations (loop trip counts, taken biases, periodic
+// patterns). It makes the synthetic workloads inspectable the way a
+// real trace's binary would be.
+func (s *Source) Disassemble(w io.Writer, maxFns int) error {
+	if maxFns <= 0 || maxFns > len(s.prog.fns) {
+		maxFns = len(s.prog.fns)
+	}
+	for fi := 0; fi < maxFns; fi++ {
+		f := &s.prog.fns[fi]
+		if _, err := fmt.Fprintf(w, "fn%d: ; entry %#x, %d ops\n", fi, uint64(f.entry), len(f.ops)); err != nil {
+			return err
+		}
+		for oi := range f.ops {
+			if err := disasmOp(w, s.prog, fi, oi); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// disasmOp renders one instruction site.
+func disasmOp(w io.Writer, prog *program, fi, oi int) error {
+	f := &prog.fns[fi]
+	o := &f.ops[oi]
+	target := func(idx int) zaddr.Addr { return f.ops[idx].addr }
+	var text string
+	switch o.kind {
+	case trace.NotBranch:
+		text = fmt.Sprintf("op.%d", o.length)
+	case trace.CondDirect:
+		switch {
+		case o.tripCount > 0:
+			text = fmt.Sprintf("brct  %#x        ; loop, %d trips", uint64(target(o.targetIdx)), o.tripCount)
+		case o.patPeriod > 0:
+			text = fmt.Sprintf("brc   %#x        ; periodic, NT every %d", uint64(target(o.targetIdx)), o.patPeriod)
+		case o.takenBias == 0:
+			text = fmt.Sprintf("brc   %#x        ; never taken", uint64(target(o.targetIdx)))
+		default:
+			text = fmt.Sprintf("brc   %#x        ; p(taken)=%.2f", uint64(target(o.targetIdx)), o.takenBias)
+		}
+	case trace.UncondDirect:
+		text = fmt.Sprintf("j     %#x", uint64(target(o.targetIdx)))
+	case trace.Call:
+		text = fmt.Sprintf("brasl fn%d          ; %#x", o.calleeFn, uint64(prog.fns[o.calleeFn].entry))
+	case trace.Return:
+		text = "br    %r14          ; return"
+	case trace.IndirectOther:
+		text = fmt.Sprintf("br    %%r1           ; %d targets, first %#x",
+			len(o.indirectTargets), uint64(target(o.indirectTargets[0])))
+	case trace.PreloadHint:
+		text = fmt.Sprintf("bpp   %#x        ; preload hint", uint64(target(o.targetIdx)))
+	default:
+		text = fmt.Sprintf("?kind=%d", o.kind)
+	}
+	_, err := fmt.Fprintf(w, "  %#08x  %s\n", uint64(o.addr), text)
+	return err
+}

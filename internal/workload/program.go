@@ -1,0 +1,337 @@
+// Package workload synthesizes instruction traces with controlled branch
+// footprints. The paper evaluates on proprietary IBM traces (LSPR,
+// Trade6, TPF, DayTrader, Informix — Table 4); those are unavailable, so
+// this package builds, per trace, a synthetic program whose *unique
+// branch site count*, *ever-taken fraction*, and *re-reference locality*
+// match the published Table 4 characteristics. Branch-prediction capacity
+// behaviour — the paper's subject — is driven by exactly those
+// properties.
+//
+// A program is a set of functions laid out in memory; each function is a
+// list of z-style instructions (2/4/6 bytes) with conditional branches
+// (biased, some never-taken), loops (backedges), calls, returns and
+// indirect branches. A deterministic interpreter walks the program,
+// driven by a transaction loop that sweeps a working-set window across
+// the function list so that branch re-reference distances exceed the
+// BTB1's 4k capacity — the regime where the BTB2 pays off.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/zaddr"
+)
+
+// op is one static instruction site.
+type op struct {
+	addr   zaddr.Addr
+	length uint8
+	kind   trace.Kind
+	// Conditional-direct fields.
+	takenBias   float64 // probability taken; 0 = never taken
+	staticTaken bool    // opcode-derived static guess
+	targetIdx   int     // jump target: instruction index within the function
+	// tripCount > 0 marks a loop backedge taken exactly tripCount-1
+	// times per loop entry (predictable iterations, mispredicted exit —
+	// classic loop-branch behaviour).
+	tripCount int
+	// patPeriod > 0 marks a periodic conditional: not-taken every
+	// patPeriod-th execution, taken otherwise. Mostly learnable by the
+	// direction predictors, unlike pure noise.
+	patPeriod int
+	// Call target.
+	calleeFn int
+	// Indirect target set (absolute addresses filled after layout).
+	indirectTargets []int // instruction indices within the function
+}
+
+// fn is one function: a contiguous run of instruction sites.
+type fn struct {
+	ops   []op
+	entry zaddr.Addr
+}
+
+// Profile parameterizes one synthetic workload.
+type Profile struct {
+	Name string
+	// UniqueBranches approximates Table 4 column 2 (total unique branch
+	// instruction addresses in the program).
+	UniqueBranches int
+	// TakenFraction approximates column 3 / column 2: the share of
+	// branch sites that are ever taken.
+	TakenFraction float64
+	// Instructions is the dynamic trace length to emit.
+	Instructions int
+	// HotFraction is the share of dynamic work spent in the small hot
+	// set (dispatcher-like functions that stay resident).
+	HotFraction float64
+	// WindowFunctions is the size of the rotating working-set window in
+	// functions; the window advances every transaction, producing
+	// re-reference distances that overwhelm the BTB1.
+	WindowFunctions int
+	// CallsPerTransaction is how many window functions one transaction
+	// invokes.
+	CallsPerTransaction int
+	// Seed fixes all generation randomness.
+	Seed int64
+	// PreloadHints inserts branch-preload instructions (z BPP-style) at
+	// each function entry naming up to three of the function's
+	// statically-targetable taken branches — a software analogue of the
+	// hardware bulk preload, used by the preload study.
+	PreloadHints bool
+}
+
+// Validate checks profile sanity.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile needs a name")
+	}
+	if p.UniqueBranches < 16 {
+		return fmt.Errorf("workload %s: UniqueBranches %d too small", p.Name, p.UniqueBranches)
+	}
+	if p.TakenFraction <= 0 || p.TakenFraction > 1 {
+		return fmt.Errorf("workload %s: TakenFraction %v out of (0,1]", p.Name, p.TakenFraction)
+	}
+	if p.Instructions <= 0 {
+		return fmt.Errorf("workload %s: Instructions must be positive", p.Name)
+	}
+	if p.HotFraction < 0 || p.HotFraction >= 1 {
+		return fmt.Errorf("workload %s: HotFraction %v out of [0,1)", p.Name, p.HotFraction)
+	}
+	if p.WindowFunctions <= 0 || p.CallsPerTransaction <= 0 {
+		return fmt.Errorf("workload %s: window/calls must be positive", p.Name)
+	}
+	return nil
+}
+
+// program is the immutable compiled form shared by all passes.
+type program struct {
+	profile Profile
+	fns     []fn
+	hotFns  []int // indices of the hot set
+}
+
+// average branch sites per generated function; functions then span
+// roughly 1-2 KB so a 4 KB bulk-transfer block recovers 2-4 functions.
+const branchesPerFn = 14
+
+// buildProgram compiles a profile into a static program.
+func buildProgram(p Profile) *program {
+	r := rand.New(rand.NewSource(p.Seed))
+	nFns := p.UniqueBranches / branchesPerFn
+	if nFns < 4 {
+		nFns = 4
+	}
+	prog := &program{profile: p, fns: make([]fn, nFns)}
+
+	// Lay functions out contiguously from a base address, with small
+	// inter-function gaps, so several functions share each 4 KB block.
+	addr := zaddr.Addr(0x100000)
+	for i := range prog.fns {
+		prog.fns[i] = buildFn(r, p, addr, i, nFns)
+		last := prog.fns[i].ops[len(prog.fns[i].ops)-1]
+		addr = last.addr + zaddr.Addr(last.length)
+		// Halfword-aligned gap of 0-14 bytes between functions.
+		addr += zaddr.Addr(r.Intn(8) * 2)
+	}
+
+	// Hot set: ~3% of functions, at least 2.
+	nHot := nFns / 32
+	if nHot < 2 {
+		nHot = 2
+	}
+	perm := r.Perm(nFns)
+	prog.hotFns = perm[:nHot]
+	return prog
+}
+
+// buildFn synthesizes one function at base address.
+func buildFn(r *rand.Rand, p Profile, base zaddr.Addr, self, nFns int) fn {
+	nBranches := branchesPerFn - 3 + r.Intn(7) // 11..17
+	var ops []op
+	addr := base
+	emit := func(o op) {
+		o.addr = addr
+		addr += zaddr.Addr(o.length)
+		ops = append(ops, o)
+	}
+	instLen := func() uint8 { return []uint8{2, 4, 4, 4, 6}[r.Intn(5)] }
+
+	// Preload-hint slots at the function entry; the fixup pass below
+	// points them at suitable branches (unused slots become plain
+	// instructions). Emitting them first keeps the rng stream identical
+	// with and without hints, so hinted and unhinted programs share the
+	// same topology.
+	const hintSlots = 3
+	if p.PreloadHints {
+		for i := 0; i < hintSlots; i++ {
+			emit(op{length: 4, kind: trace.PreloadHint, targetIdx: -1})
+		}
+	}
+
+	for b := 0; b < nBranches-1; b++ {
+		// A run of 2-7 non-branch instructions.
+		for n := 2 + r.Intn(6); n > 0; n-- {
+			emit(op{length: instLen(), kind: trace.NotBranch})
+		}
+		// Then a branch site.
+		roll := r.Float64()
+		if roll < 0.12 && b <= 1 {
+			// Too early in the function for a backedge: emit a plain
+			// conditional so the roll does not fall through into the
+			// call band (which would concentrate calls at entry points).
+			emit(op{length: 4, kind: trace.CondDirect,
+				takenBias: 0.5, staticTaken: true, targetIdx: -1})
+			continue
+		}
+		switch {
+		case roll < 0.12:
+			// Loop backedge: a conditional jumping to an earlier op with
+			// a fixed trip count. Loop bodies must contain neither call
+			// sites (a looped call would multiply the dynamic call rate)
+			// nor other backedges (nested loops multiply iteration counts
+			// exponentially), so the body floor sits after the last
+			// structural op.
+			floor := 0
+			for i := len(ops) - 1; i >= 0; i-- {
+				if ops[i].kind == trace.Call || (ops[i].kind == trace.CondDirect && ops[i].tripCount > 0) {
+					floor = i + 1
+					break
+				}
+			}
+			if floor >= len(ops)-2 {
+				// No room for a loop body: plain conditional instead.
+				emit(op{length: 4, kind: trace.CondDirect,
+					takenBias: 0.5, staticTaken: true, targetIdx: -1})
+				break
+			}
+			tgt := floor + r.Intn(len(ops)-2-floor)
+			emit(op{
+				length: 4, kind: trace.CondDirect,
+				staticTaken: true, targetIdx: tgt,
+				tripCount: 2 + r.Intn(3), // 2..4 iterations per entry
+			})
+		case roll < 0.16:
+			// Call to another function. The call graph is a DAG: callees
+			// always have a higher function index, so every call chain
+			// reaches call-free functions and drains back to the
+			// transaction dispatcher — no attractor cycles can capture
+			// the walk. Callees are mostly nearby (call locality clusters
+			// related code in neighbouring 4 KB blocks, which is what
+			// makes block-granular bulk transfers productive), sometimes
+			// far.
+			if self >= nFns-2 {
+				emit(op{length: 4, kind: trace.CondDirect,
+					takenBias: 0.5, staticTaken: true, targetIdx: -1})
+				break
+			}
+			span := nFns - 1 - self
+			reach := span
+			if r.Float64() < 0.7 && reach > 24 {
+				reach = 24
+			}
+			emit(op{length: 4, kind: trace.Call, calleeFn: self + 1 + r.Intn(reach)})
+		case roll < 0.25:
+			// Indirect branch with 2-4 forward targets (resolved after
+			// all ops exist; store placeholder indices).
+			emit(op{length: 4, kind: trace.IndirectOther,
+				indirectTargets: []int{-2 - r.Intn(3)}}) // marker; fixed below
+		case roll < 0.29:
+			// Unconditional forward jump.
+			emit(op{length: 4, kind: trace.UncondDirect, targetIdx: -1}) // fixed below
+		default:
+			// Conditional forward branch; a (1-TakenFraction) share of
+			// sites is never taken. Ever-taken sites get a bimodal bias
+			// distribution like real code: mostly strongly biased one
+			// way, a minority genuinely mixed (the PHT's clientele).
+			bias := 0.0
+			static := false
+			period := 0
+			if r.Float64() < p.TakenFraction {
+				switch roll2 := r.Float64(); {
+				case roll2 < 0.60:
+					bias = 0.955 + 0.04*r.Float64() // strongly taken
+				case roll2 < 0.92:
+					bias = 0.01 + 0.04*r.Float64() // rarely taken
+				default:
+					// Periodic data-dependent branch: deterministic
+					// pattern the predictors can (partly) learn.
+					period = 2 + r.Intn(5)
+					bias = 1 // ever-taken by construction
+				}
+				static = bias > 0.5
+			}
+			emit(op{length: 4, kind: trace.CondDirect,
+				takenBias: bias, staticTaken: static, targetIdx: -1,
+				patPeriod: period}) // target fixed below
+		}
+	}
+	// Trailing run and the return.
+	for n := 1 + r.Intn(3); n > 0; n-- {
+		emit(op{length: instLen(), kind: trace.NotBranch})
+	}
+	emit(op{length: 2, kind: trace.Return})
+
+	// Point the preload-hint slots at statically-targetable taken
+	// branches: calls, unconditional jumps, loop backedges and
+	// taken-biased conditionals (indirects and returns have no static
+	// target to preload).
+	if p.PreloadHints {
+		hint := 0
+		for i := range ops {
+			if hint >= hintSlots {
+				break
+			}
+			suitable := false
+			switch ops[i].kind {
+			case trace.Call, trace.UncondDirect:
+				suitable = true
+			case trace.CondDirect:
+				suitable = ops[i].tripCount > 0 || ops[i].takenBias > 0.5
+			}
+			if suitable {
+				ops[hint].targetIdx = i
+				hint++
+			}
+		}
+		// Unused slots degrade to ordinary instructions.
+		for ; hint < hintSlots; hint++ {
+			ops[hint].kind = trace.NotBranch
+			ops[hint].targetIdx = 0
+		}
+	}
+
+	// Fix up forward targets now that the op count is known.
+	for i := range ops {
+		o := &ops[i]
+		switch o.kind {
+		case trace.CondDirect, trace.UncondDirect:
+			if o.targetIdx == -1 {
+				// Forward skip of 1..9 ops, clamped inside the function,
+				// so taken branches regularly skip later call sites and
+				// the dynamic call rate stays below one per execution.
+				tgt := i + 1 + r.Intn(9)
+				if tgt >= len(ops) {
+					tgt = len(ops) - 1
+				}
+				o.targetIdx = tgt
+			}
+		case trace.IndirectOther:
+			if len(o.indirectTargets) == 1 && o.indirectTargets[0] < 0 {
+				n := -o.indirectTargets[0]
+				tgts := make([]int, n)
+				for j := range tgts {
+					tgt := i + 1 + r.Intn(8)
+					if tgt >= len(ops) {
+						tgt = len(ops) - 1
+					}
+					tgts[j] = tgt
+				}
+				o.indirectTargets = tgts
+			}
+		}
+	}
+	return fn{ops: ops, entry: base}
+}

@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"math/rand"
+
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/zaddr"
+)
+
+// maxCallDepth bounds the interpreter's call stack; deeper calls become
+// tail calls (the frame is not pushed), which keeps traces finite while
+// preserving call/return branch behaviour.
+const maxCallDepth = 16
+
+// dispatchQuantum is the maximum instruction count between visits to the
+// transaction dispatcher: once exceeded, the next Return unwinds the
+// whole stack (a timer-interrupt-style context switch, typical of the
+// commercial transaction workloads Table 4 models). It guarantees the
+// working-set window keeps rotating even through call-dense code
+// clusters.
+const dispatchQuantum = 1200
+
+type frame struct {
+	fn, op int
+}
+
+// Source is the deterministic interpreter that walks a compiled program
+// and implements trace.Source. Two passes separated by Reset yield
+// identical streams.
+type Source struct {
+	prog *program
+
+	r         *rand.Rand
+	emitted   int
+	stack     []frame
+	curFn     int
+	curOp     int
+	window    int
+	txnLeft   int
+	sinceDisp int // instructions since the last dispatcher visit
+	// loops tracks in-flight loop iteration counts, keyed by
+	// fn<<32|opIdx.
+	loops map[int64]int
+	// pats tracks periodic-branch execution counts, same key scheme.
+	pats map[int64]int
+	// lastInvoked is the previous dispatcher choice, re-invoked in
+	// bursts (transaction workloads hammer the same service paths
+	// repeatedly before moving on).
+	lastInvoked int
+	haveLast    bool
+	// recent is a ring of recently dispatched functions; re-invoking
+	// from it produces the medium-distance, recency-skewed reuse real
+	// transaction mixes exhibit (and which LRU retention exploits).
+	recent    []int
+	recentPos int
+}
+
+// recentCap bounds the recency ring.
+const recentCap = 192
+
+// New compiles a profile and returns its trace source; invalid profiles
+// panic (profiles are code).
+func New(p Profile) *Source {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Source{prog: buildProgram(p)}
+	s.Reset()
+	return s
+}
+
+// Name implements trace.Source.
+func (s *Source) Name() string { return s.prog.profile.Name }
+
+// Profile returns the generating profile.
+func (s *Source) Profile() Profile { return s.prog.profile }
+
+// Functions returns the number of functions in the compiled program.
+func (s *Source) Functions() int { return len(s.prog.fns) }
+
+// StaticBranchSites returns the number of branch instruction sites in the
+// compiled program (the upper bound on unique executed branches).
+func (s *Source) StaticBranchSites() int {
+	n := 0
+	for i := range s.prog.fns {
+		for j := range s.prog.fns[i].ops {
+			if s.prog.fns[i].ops[j].kind.IsBranch() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Reset implements trace.Source.
+func (s *Source) Reset() {
+	s.r = rand.New(rand.NewSource(s.prog.profile.Seed + 1))
+	s.emitted = 0
+	s.stack = s.stack[:0]
+	s.window = 0
+	s.txnLeft = 0
+	s.sinceDisp = 0
+	s.loops = make(map[int64]int)
+	s.pats = make(map[int64]int)
+	s.haveLast = false
+	s.recent = s.recent[:0]
+	s.recentPos = 0
+	s.curFn = s.nextInvocation()
+	s.curOp = 0
+}
+
+// nextInvocation picks the next top-level function: hot set with
+// probability HotFraction, else a function from the sliding window.
+func (s *Source) nextInvocation() int {
+	p := s.prog.profile
+	if s.txnLeft == 0 {
+		// Advance the working-set window; sweeping it across the whole
+		// function list produces re-reference distances far beyond the
+		// BTB1's capacity. The fast advance (half a window per
+		// transaction) makes cold re-entries the dominant branch-miss
+		// class, as in the paper's large-footprint traces.
+		s.window = (s.window + p.WindowFunctions) % len(s.prog.fns)
+		s.txnLeft = p.CallsPerTransaction
+	}
+	s.txnLeft--
+	// Burst re-invocation: transaction code re-runs the same service
+	// function several times before moving on, giving freshly-installed
+	// BTBP entries the short-distance re-reference they need to be
+	// promoted into the BTB1.
+	if s.haveLast && s.r.Float64() < 0.32 {
+		return s.lastInvoked
+	}
+	var pick int
+	switch roll := s.r.Float64(); {
+	case roll < p.HotFraction:
+		pick = s.prog.hotFns[s.r.Intn(len(s.prog.hotFns))]
+	case roll < p.HotFraction+0.20 && len(s.recent) > 0:
+		// Medium-distance reuse from the recency ring.
+		pick = s.recent[s.r.Intn(len(s.recent))]
+	default:
+		pick = (s.window + s.r.Intn(p.WindowFunctions)) % len(s.prog.fns)
+	}
+	if len(s.recent) < recentCap {
+		s.recent = append(s.recent, pick)
+	} else {
+		s.recent[s.recentPos] = pick
+		s.recentPos = (s.recentPos + 1) % recentCap
+	}
+	s.lastInvoked = pick
+	s.haveLast = true
+	return pick
+}
+
+// Next implements trace.Source.
+func (s *Source) Next() (trace.Inst, bool) {
+	if s.emitted >= s.prog.profile.Instructions {
+		return trace.Inst{}, false
+	}
+	s.emitted++
+	s.sinceDisp++
+
+	f := &s.prog.fns[s.curFn]
+	o := &f.ops[s.curOp]
+	in := trace.Inst{
+		Addr:   o.addr,
+		Length: o.length,
+		Kind:   o.kind,
+	}
+
+	switch o.kind {
+	case trace.NotBranch:
+		s.curOp++
+
+	case trace.CondDirect:
+		var taken bool
+		if o.patPeriod > 0 {
+			key := int64(s.curFn)<<32 | int64(s.curOp)
+			c := s.pats[key]
+			s.pats[key] = c + 1
+			taken = c%o.patPeriod != o.patPeriod-1
+		} else if o.tripCount > 0 {
+			// Loop backedge: taken tripCount-1 times per loop entry.
+			key := int64(s.curFn)<<32 | int64(s.curOp)
+			c := s.loops[key] + 1
+			if c < o.tripCount {
+				s.loops[key] = c
+				taken = true
+			} else {
+				delete(s.loops, key)
+				taken = false
+			}
+		} else {
+			taken = s.r.Float64() < o.takenBias
+		}
+		in.Taken = taken
+		in.Target = f.ops[o.targetIdx].addr
+		in.StaticTaken = o.staticTaken
+		if taken {
+			s.curOp = o.targetIdx
+		} else {
+			s.curOp++
+		}
+
+	case trace.UncondDirect:
+		in.Taken = true
+		in.Target = f.ops[o.targetIdx].addr
+		in.StaticTaken = true
+		s.curOp = o.targetIdx
+
+	case trace.Call:
+		in.Taken = true
+		in.StaticTaken = true
+		callee := o.calleeFn
+		in.Target = s.prog.fns[callee].entry
+		if len(s.stack) < maxCallDepth {
+			s.stack = append(s.stack, frame{fn: s.curFn, op: s.curOp + 1})
+		} else {
+			// Depth cap: redirect the innermost return to just after this
+			// call site, so the stack keeps draining and every function
+			// still completes (a bounded-stack approximation).
+			s.stack[len(s.stack)-1] = frame{fn: s.curFn, op: s.curOp + 1}
+		}
+		s.curFn = callee
+		s.curOp = 0
+
+	case trace.Return:
+		in.Taken = true
+		in.StaticTaken = true
+		if s.sinceDisp > dispatchQuantum {
+			// Quantum expired: unwind to the dispatcher.
+			s.stack = s.stack[:0]
+		}
+		if n := len(s.stack); n > 0 {
+			fr := s.stack[n-1]
+			s.stack = s.stack[:n-1]
+			s.curFn, s.curOp = fr.fn, fr.op
+		} else {
+			// Top-level return: the transaction dispatcher invokes the
+			// next function.
+			s.sinceDisp = 0
+			s.curFn = s.nextInvocation()
+			s.curOp = 0
+		}
+		in.Target = s.prog.fns[s.curFn].ops[s.curOp].addr
+
+	case trace.PreloadHint:
+		// Software branch preload: name the branch op and its static
+		// target. Calls preload their callee's entry; direct branches
+		// preload their jump target.
+		br := &f.ops[o.targetIdx]
+		in.HintBranch = br.addr
+		switch br.kind {
+		case trace.Call:
+			in.Target = s.prog.fns[br.calleeFn].entry
+		default:
+			in.Target = f.ops[br.targetIdx].addr
+		}
+		s.curOp++
+
+	case trace.IndirectOther:
+		in.Taken = true
+		in.StaticTaken = true
+		// Indirect branches favour a dominant target (85%), like real
+		// dispatch sites; the remainder exercises the CTB.
+		tgt := o.indirectTargets[0]
+		if s.r.Float64() >= 0.85 && len(o.indirectTargets) > 1 {
+			tgt = o.indirectTargets[1+s.r.Intn(len(o.indirectTargets)-1)]
+		}
+		in.Target = f.ops[tgt].addr
+		s.curOp = tgt
+	}
+
+	// Guard: a function's op list always ends in Return, so curOp stays
+	// in range; defensively wrap anyway.
+	if s.curOp >= len(s.prog.fns[s.curFn].ops) {
+		s.curOp = len(s.prog.fns[s.curFn].ops) - 1
+	}
+	return in, true
+}
+
+var _ trace.Source = (*Source)(nil)
+
+// blockSpan reports how many 4 KB blocks the program's code occupies
+// (diagnostics for steering/transfer analyses).
+func (s *Source) blockSpan() int {
+	blocks := map[uint64]bool{}
+	for i := range s.prog.fns {
+		for j := range s.prog.fns[i].ops {
+			blocks[zaddr.Block(s.prog.fns[i].ops[j].addr)] = true
+		}
+	}
+	return len(blocks)
+}
