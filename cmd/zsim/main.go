@@ -6,17 +6,25 @@
 //
 //	zsim -trace zos-daytrader-dbserv -config btb2 -insts 1000000
 //	zsim -file trace.zbpt -config no-btb2
+//	zsim -config btb2 -interval 100000                # phase timeline
+//	zsim -config btb2 -jsonl events.jsonl             # streaming trace
+//	zsim -config btb2 -chrome trace.json              # Perfetto trace
+//	zsim -config btb2 -metrics-addr localhost:9090    # live /metrics
 //	zsim -list
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
 	"bulkpreload/internal/core"
 	"bulkpreload/internal/engine"
+	"bulkpreload/internal/obs"
+	"bulkpreload/internal/obs/export"
 	"bulkpreload/internal/report"
 	"bulkpreload/internal/sim"
 	"bulkpreload/internal/trace"
@@ -32,7 +40,11 @@ func main() {
 		warmup    = flag.Int64("warmup", 100_000, "instructions excluded from reported counts")
 		hardware  = flag.Bool("hardware", false, "hardware mode: finite L2 instruction cache")
 		events    = flag.Int("events", 0, "print the first N hierarchy events (0 = off)")
-		timeline  = flag.Int("timeline", 0, "render the bulk-preload timeline of the first N 4KB blocks (0 = off)")
+		timeline  = flag.Int("timeline", 0, "render the bulk-preload timeline of the last N 4KB blocks (0 = off)")
+		interval  = flag.Int64("interval", 0, "snapshot the metric registry every N instructions and render the phase timeline (0 = off)")
+		jsonlPath = flag.String("jsonl", "", "stream every hierarchy event to this file as JSON Lines")
+		chromePtr = flag.String("chrome", "", "stream every hierarchy event to this file in Chrome trace_event format (load in Perfetto)")
+		metrics   = flag.String("metrics-addr", "", "serve live registry state over HTTP at this address (/metrics, /snapshot, /debug/vars)")
 		compare   = flag.Bool("compare", false, "run all three Table 3 configurations and print the comparison")
 		specFile  = flag.String("spec", "", "run a JSON experiment spec (overrides other flags)")
 		list      = flag.Bool("list", false, "list Table 4 workload names and exit")
@@ -68,6 +80,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *interval < 0 {
+		fmt.Fprintln(os.Stderr, "zsim: -interval must be non-negative")
+		os.Exit(2)
+	}
+
 	src, err := loadSource(*file, *traceName, *insts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zsim:", err)
@@ -93,31 +110,122 @@ func main() {
 		params = engine.HardwareParams()
 	}
 	params.WarmupInstructions = *warmup
-	var tracer *core.CollectTracer
+
+	// Compose the event tracer pipeline: an in-memory buffer for -events
+	// and -timeline, plus streaming exporters, all fed through one tee.
+	var (
+		tracers   core.TeeTracer
+		collector *core.CollectTracer
+		jsonl     *export.JSONL
+		chrome    *export.Chrome
+	)
 	if *events > 0 || *timeline > 0 {
 		max := *events
 		if *timeline > 0 {
-			// Timeline stories need a deep event window.
+			// Timeline stories need a deep event window; ring mode keeps
+			// the *last* window so long runs show steady state, not warm-up.
 			max = 200_000
 		}
-		tracer = &core.CollectTracer{Max: max}
-		params.EventTracer = tracer
+		collector = &core.CollectTracer{Max: max, Ring: *timeline > 0}
+		tracers = append(tracers, collector)
+	}
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		jsonl = export.NewJSONL(f)
+		tracers = append(tracers, jsonl)
+	}
+	if *chromePtr != "" {
+		f, err := os.Create(*chromePtr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		chrome = export.NewChrome(f)
+		tracers = append(tracers, chrome)
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		params.EventTracer = tracers[0]
+	default:
+		params.EventTracer = tracers
+	}
+
+	// Live introspection: snapshots published to an atomic pointer, read
+	// by the HTTP handlers — the simulation goroutine never shares its
+	// metrics directly.
+	params.SnapshotInterval = *interval
+	var live *obs.Live
+	if *metrics != "" {
+		live = &obs.Live{}
+		expvar.Publish("zsim", live.Var())
+		if params.SnapshotInterval == 0 {
+			params.SnapshotInterval = 100_000
+		}
+		params.SnapshotSink = live.Publish
+		go func() {
+			if err := http.ListenAndServe(*metrics, live.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "zsim: metrics server:", err)
+			}
+		}()
+		fmt.Printf("serving live metrics on http://%s/metrics\n", *metrics)
 	}
 
 	r := engine.Run(src, cfgs[*config], params, *config)
 	report.Result(os.Stdout, r)
-	if tracer != nil && *events > 0 {
+	if live != nil && r.Metrics != nil {
+		live.Publish(*r.Metrics)
+	}
+	if *interval > 0 {
+		fmt.Println()
+		report.PhaseTimeline(os.Stdout, r.Snapshots)
+	}
+	if collector != nil && *events > 0 {
+		ordered := collector.Ordered()
 		n := *events
-		if n > len(tracer.Events) {
-			n = len(tracer.Events)
+		if n > len(ordered) {
+			n = len(ordered)
 		}
 		fmt.Printf("first %d hierarchy events:\n", n)
-		for _, ev := range tracer.Events[:n] {
+		for _, ev := range ordered[:n] {
 			fmt.Println(" ", ev)
 		}
 	}
-	if tracer != nil && *timeline > 0 {
-		report.TransferTimeline(os.Stdout, tracer.Events, *timeline)
+	if collector != nil && *timeline > 0 {
+		report.TransferTimeline(os.Stdout, collector.Ordered(), *timeline)
+	}
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim: jsonl export:", err)
+			os.Exit(1)
+		}
+		reconcile("jsonl", jsonl.Counts(), r.Metrics)
+	}
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim: chrome export:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// reconcile cross-checks exported per-kind event counts against the
+// final registry counters — the two observability planes (streaming
+// trace, metrics registry) must agree event for event.
+func reconcile(what string, counts [core.NumEventKinds]int64, final *obs.Snapshot) {
+	if final == nil {
+		return
+	}
+	for k := 0; k < core.NumEventKinds; k++ {
+		kind := core.EventKind(k)
+		if got, want := counts[k], final.Counter(kind.MetricName()); got != want {
+			fmt.Fprintf(os.Stderr, "zsim: %s export disagrees with registry for %s: %d events vs counter %d\n",
+				what, kind, got, want)
+		}
 	}
 }
 

@@ -5,7 +5,10 @@
 // level ("surprise branches").
 package bht
 
-import "bulkpreload/internal/zaddr"
+import (
+	"bulkpreload/internal/obs"
+	"bulkpreload/internal/zaddr"
+)
 
 // Bimodal is the classic 2-bit saturating direction counter stored per
 // BTB entry. The zero value is StrongNT.
@@ -75,6 +78,21 @@ type SurpriseBHT struct {
 	bits    []bool
 	touched []bool
 	mask    uint64
+	met     surpriseMetrics
+}
+
+// surpriseMetrics is the surprise BHT's registry-backed counter set.
+type surpriseMetrics struct {
+	guesses        obs.Counter
+	trainedGuesses obs.Counter
+	updates        obs.Counter
+}
+
+// Stats is a point-in-time view of the surprise BHT counters.
+type Stats struct {
+	Guesses        int64 // direction guesses served
+	TrainedGuesses int64 // guesses answered by a trained slot
+	Updates        int64 // resolved directions recorded
 }
 
 // DefaultSurpriseEntries is the zEC12 surprise BHT size.
@@ -104,8 +122,10 @@ func (s *SurpriseBHT) Taken(a zaddr.Addr) bool { return s.bits[s.index(a)] }
 // slots supply the dynamic bit, untrained slots fall back to the static
 // guess.
 func (s *SurpriseBHT) Guess(a zaddr.Addr, staticTaken bool) bool {
+	s.met.guesses.Inc()
 	i := s.index(a)
 	if s.touched[i] {
+		s.met.trainedGuesses.Inc()
 		return s.bits[i]
 	}
 	return staticTaken
@@ -113,9 +133,41 @@ func (s *SurpriseBHT) Guess(a zaddr.Addr, staticTaken bool) bool {
 
 // Update records a resolved direction for the branch at a.
 func (s *SurpriseBHT) Update(a zaddr.Addr, taken bool) {
+	s.met.updates.Inc()
 	i := s.index(a)
 	s.bits[i] = taken
 	s.touched[i] = true
+}
+
+// Stats returns a view of the counters.
+func (s *SurpriseBHT) Stats() Stats {
+	return Stats{
+		Guesses:        s.met.guesses.Value(),
+		TrainedGuesses: s.met.trainedGuesses.Value(),
+		Updates:        s.met.updates.Value(),
+	}
+}
+
+// RegisterMetrics enumerates the surprise BHT counters (plus a computed
+// trained-slot occupancy gauge) into r under the given prefix, e.g.
+// "sbht_".
+func (s *SurpriseBHT) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"guesses_total", "guesses", "surprise-branch direction guesses served", &s.met.guesses)
+	r.Counter(prefix+"trained_guesses_total", "guesses", "guesses answered by a trained slot", &s.met.trainedGuesses)
+	r.Counter(prefix+"updates_total", "updates", "resolved directions recorded", &s.met.updates)
+	r.GaugeFunc(prefix+"occupancy_entries", "entries", "trained one-bit slots",
+		func() int64 { return int64(s.CountTrained()) })
+}
+
+// CountTrained returns the number of slots that have been trained.
+func (s *SurpriseBHT) CountTrained() int {
+	n := 0
+	for i := range s.touched {
+		if s.touched[i] {
+			n++
+		}
+	}
+	return n
 }
 
 // Entries returns the table size.
@@ -127,4 +179,5 @@ func (s *SurpriseBHT) Reset() {
 		s.bits[i] = false
 		s.touched[i] = false
 	}
+	s.met = surpriseMetrics{}
 }

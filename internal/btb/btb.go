@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"bulkpreload/internal/bht"
+	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
 )
 
@@ -104,13 +105,24 @@ var (
 	LargeBTB1Config = Config{Name: "BTB1-24k", Rows: 4096, Ways: 6, IndexHi: 47, IndexLo: 58}
 )
 
-// Stats counts table activity.
+// Stats is a point-in-time view of the table's activity counters. The
+// canonical storage is the obs metrics (see RegisterMetrics); Stats
+// remains the convenient comparable value for tests and reports.
 type Stats struct {
 	Lookups  int64 // LookupLine calls
 	LineHits int64 // lookups that found at least one matching entry
 	Installs int64 // new entries written
 	Updates  int64 // in-place updates of existing entries
 	Evicts   int64 // valid victims displaced by installs
+}
+
+// metrics is the table's registry-backed counter set.
+type metrics struct {
+	lookups  obs.Counter
+	lineHits obs.Counter
+	installs obs.Counter
+	updates  obs.Counter
+	evicts   obs.Counter
 }
 
 // Table is a set-associative tagged BTB.
@@ -120,7 +132,7 @@ type Table struct {
 	// order holds per-row recency order: order[row*ways+k] is the way
 	// index at recency rank k (rank 0 = MRU, rank ways-1 = LRU).
 	order []uint8
-	stats Stats
+	met   metrics
 }
 
 // New builds an empty table; it panics if cfg is invalid (geometry is a
@@ -145,8 +157,28 @@ func New(cfg Config) *Table {
 // Config returns the table geometry.
 func (t *Table) Config() Config { return t.cfg }
 
-// Stats returns a copy of the activity counters.
-func (t *Table) Stats() Stats { return t.stats }
+// Stats returns a view of the activity counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Lookups:  t.met.lookups.Value(),
+		LineHits: t.met.lineHits.Value(),
+		Installs: t.met.installs.Value(),
+		Updates:  t.met.updates.Value(),
+		Evicts:   t.met.evicts.Value(),
+	}
+}
+
+// RegisterMetrics enumerates the table's counters (plus a computed
+// occupancy gauge) into r under the given prefix, e.g. "btb1_".
+func (t *Table) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"lookups_total", "searches", "LookupLine congruence-class reads", &t.met.lookups)
+	r.Counter(prefix+"line_hits_total", "searches", "lookups finding at least one matching entry", &t.met.lineHits)
+	r.Counter(prefix+"installs_total", "entries", "new entries written", &t.met.installs)
+	r.Counter(prefix+"updates_total", "entries", "in-place updates of existing entries", &t.met.updates)
+	r.Counter(prefix+"evicts_total", "entries", "valid victims displaced by installs", &t.met.evicts)
+	r.GaugeFunc(prefix+"occupancy_entries", "entries", "valid entries currently resident",
+		func() int64 { return int64(t.CountValid()) })
+}
 
 // RowFor returns the congruence class the address maps to.
 func (t *Table) RowFor(a zaddr.Addr) int {
@@ -197,7 +229,7 @@ type Hit struct {
 // congruence class performed each search cycle. The result shares no
 // storage with the table.
 func (t *Table) LookupLine(line zaddr.Addr, out []Hit) []Hit {
-	t.stats.Lookups++
+	t.met.lookups.Inc()
 	row := t.RowFor(line)
 	base := row * t.cfg.Ways
 	mruWay := int(t.order[base])
@@ -210,7 +242,7 @@ func (t *Table) LookupLine(line zaddr.Addr, out []Hit) []Hit {
 		}
 	}
 	if found {
-		t.stats.LineHits++
+		t.met.lineHits.Inc()
 	}
 	return out
 }
@@ -246,7 +278,7 @@ func (t *Table) Update(e Entry) bool {
 	}
 	e.Valid = true
 	*slot = e
-	t.stats.Updates++
+	t.met.updates.Inc()
 	return true
 }
 
@@ -274,7 +306,7 @@ func (t *Table) insert(e Entry, atLRU bool) (victim Entry, evicted bool) {
 	for w := 0; w < t.cfg.Ways; w++ {
 		if t.entryMatch(&t.slots[base+w], e.Addr) {
 			t.slots[base+w] = e
-			t.stats.Updates++
+			t.met.updates.Inc()
 			if atLRU {
 				t.demoteWay(row, w)
 			} else {
@@ -296,10 +328,10 @@ func (t *Table) insert(e Entry, atLRU bool) (victim Entry, evicted bool) {
 		way = int(t.order[base+t.cfg.Ways-1])
 		victim = t.slots[base+way]
 		evicted = true
-		t.stats.Evicts++
+		t.met.evicts.Inc()
 	}
 	t.slots[base+way] = e
-	t.stats.Installs++
+	t.met.installs.Inc()
 	if atLRU {
 		t.demoteWay(row, way)
 	} else {
@@ -424,7 +456,7 @@ func (t *Table) Reset() {
 			t.order[row*t.cfg.Ways+w] = uint8(w)
 		}
 	}
-	t.stats = Stats{}
+	t.met = metrics{}
 }
 
 // checkLRUInvariant verifies that each row's recency order is a

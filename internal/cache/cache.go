@@ -15,6 +15,7 @@ package cache
 import (
 	"fmt"
 
+	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
 )
 
@@ -56,7 +57,8 @@ func (c Config) Validate() error {
 // Sets returns the number of congruence classes.
 func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
 
-// Stats counts cache activity.
+// Stats is a point-in-time view of the cache's activity counters; the
+// canonical storage is the obs metrics (see RegisterMetrics).
 type Stats struct {
 	Accesses   int64 // demand accesses
 	Misses     int64 // demand misses
@@ -75,6 +77,14 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// metrics is the cache's registry-backed counter set.
+type metrics struct {
+	accesses       obs.Counter
+	misses         obs.Counter
+	prefetches     obs.Counter
+	prefetchedHits obs.Counter
+}
+
 type line struct {
 	valid      bool
 	tag        uint64
@@ -89,7 +99,7 @@ type Cache struct {
 	sets  int
 	shift uint // log2(LineBytes)
 	mask  uint64
-	stats Stats
+	met   metrics
 }
 
 // New builds an empty cache; invalid geometry panics.
@@ -119,8 +129,26 @@ func New(cfg Config) *Cache {
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Stats returns a copy of the counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns a view of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Accesses:       c.met.accesses.Value(),
+		Misses:         c.met.misses.Value(),
+		Prefetches:     c.met.prefetches.Value(),
+		PrefetchedHits: c.met.prefetchedHits.Value(),
+	}
+}
+
+// RegisterMetrics enumerates the cache's counters (plus a computed
+// occupancy gauge) into r under the given prefix, e.g. "l1i_".
+func (c *Cache) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"accesses_total", "lines", "demand accesses", &c.met.accesses)
+	r.Counter(prefix+"misses_total", "lines", "demand misses", &c.met.misses)
+	r.Counter(prefix+"prefetches_total", "lines", "prefetch fills issued", &c.met.prefetches)
+	r.Counter(prefix+"prefetched_hits_total", "lines", "demand hits served from prefetched lines", &c.met.prefetchedHits)
+	r.GaugeFunc(prefix+"occupancy_lines", "lines", "resident cache lines",
+		func() int64 { return int64(c.CountValid()) })
+}
 
 func (c *Cache) setAndTag(a zaddr.Addr) (int, uint64) {
 	lineNo := uint64(a) >> c.shift
@@ -131,7 +159,7 @@ func (c *Cache) setAndTag(a zaddr.Addr) (int, uint64) {
 // on a miss. It returns hit status and whether a hit was served from a
 // prefetched line (first demand touch only).
 func (c *Cache) Access(a zaddr.Addr) (hit, prefetched bool) {
-	c.stats.Accesses++
+	c.met.accesses.Inc()
 	set, tag := c.setAndTag(a)
 	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -139,14 +167,14 @@ func (c *Cache) Access(a zaddr.Addr) (hit, prefetched bool) {
 		if ln.valid && ln.tag == tag {
 			pf := ln.prefetched
 			if pf {
-				c.stats.PrefetchedHits++
+				c.met.prefetchedHits.Inc()
 				ln.prefetched = false
 			}
 			c.promote(set, w)
 			return true, pf
 		}
 	}
-	c.stats.Misses++
+	c.met.misses.Inc()
 	c.fill(set, tag, false)
 	return false, false
 }
@@ -177,7 +205,7 @@ func (c *Cache) Prefetch(a zaddr.Addr) {
 			return
 		}
 	}
-	c.stats.Prefetches++
+	c.met.prefetches.Inc()
 	c.fill(set, tag, true)
 }
 
@@ -232,7 +260,7 @@ func (c *Cache) Reset() {
 			c.order[s*c.cfg.Ways+w] = uint8(w)
 		}
 	}
-	c.stats = Stats{}
+	c.met = metrics{}
 }
 
 func log2(n int) int {

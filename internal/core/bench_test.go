@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/zaddr"
+)
+
+// The observability layer must be free when it is off: with a nil tracer
+// and detail metrics disabled, the predict and install hot paths may not
+// allocate. The tests below pin that contract with AllocsPerRun; the
+// benchmarks report the same paths for profiling.
+
+// predictSteadyState returns a hierarchy with one branch promoted into
+// the BTB1 plus the instruction that re-executes it, after warming every
+// internal scratch buffer to capacity.
+func predictSteadyState() (*Hierarchy, trace.Inst) {
+	h := New(testConfig())
+	a, tgt := zaddr.Addr(0x4000), zaddr.Addr(0x5000)
+	in := takenBranch(a, tgt)
+	installBranch(h, in, 0)
+	now := uint64(100)
+	// First hit comes from the BTBP and promotes; later hits stay in the
+	// BTB1. A few rounds warm hitBuf and the history ring.
+	for i := 0; i < 8; i++ {
+		if p, ok := h.Predict(a, now); ok {
+			h.Resolve(in, &p, now)
+		}
+		now += 10
+	}
+	return h, in
+}
+
+func TestPredictPathNoAllocs(t *testing.T) {
+	h, in := predictSteadyState()
+	now := uint64(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p, ok := h.Predict(in.Addr, now)
+		if !ok {
+			t.Fatal("steady-state branch missed the BTB1")
+		}
+		h.Resolve(in, &p, now)
+		now += 10
+	})
+	if allocs != 0 {
+		t.Errorf("predict/resolve hot path allocates %.1f objects/op with observability off, want 0", allocs)
+	}
+}
+
+// surpriseRound resolves in as a surprise, drains the pending install,
+// then evicts the entry so the next round is a surprise again.
+func surpriseRound(h *Hierarchy, in trace.Inst, now uint64) {
+	h.Resolve(in, nil, now)
+	h.Advance(now + h.cfg.SurpriseInstallDelay)
+	h.btbp.Invalidate(in.Addr)
+	h.btb1.Invalidate(in.Addr)
+}
+
+func TestInstallPathNoAllocs(t *testing.T) {
+	h := New(testConfig())
+	in := takenBranch(zaddr.Addr(0x8000), zaddr.Addr(0x9000))
+	now := uint64(0)
+	// Warm the pending-install queue and BHT/BTB2 rows to capacity.
+	for i := 0; i < 8; i++ {
+		surpriseRound(h, in, now)
+		now += 100
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		surpriseRound(h, in, now)
+		now += 100
+	})
+	if allocs != 0 {
+		t.Errorf("surprise install path allocates %.1f objects/op with observability off, want 0", allocs)
+	}
+}
+
+func BenchmarkPredictResolveNoTracer(b *testing.B) {
+	h, in := predictSteadyState()
+	now := uint64(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, ok := h.Predict(in.Addr, now)
+		if !ok {
+			b.Fatal("steady-state branch missed the BTB1")
+		}
+		h.Resolve(in, &p, now)
+		now += 10
+	}
+}
+
+func BenchmarkSurpriseInstallNoDetail(b *testing.B) {
+	h := New(testConfig())
+	in := takenBranch(zaddr.Addr(0x8000), zaddr.Addr(0x9000))
+	now := uint64(0)
+	for i := 0; i < 8; i++ {
+		surpriseRound(h, in, now)
+		now += 100
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		surpriseRound(h, in, now)
+		now += 100
+	}
+}

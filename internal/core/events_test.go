@@ -27,6 +27,10 @@ func TestEventString(t *testing.T) {
 	if strings.Contains(noAux.String(), "->") {
 		t.Error("spurious aux in rendering")
 	}
+	unknown := Event{Cycle: 1, Kind: EventKind(42), Addr: 0x100}
+	if !strings.Contains(unknown.String(), "EventKind(42)") {
+		t.Errorf("unknown kind rendered as %q", unknown.String())
+	}
 }
 
 // TestEventLifecycle traces a full install -> predict -> promote ->
@@ -85,6 +89,41 @@ func TestCollectTracerCap(t *testing.T) {
 	}
 	if len(tr.Events) != 2 {
 		t.Errorf("cap ignored: %d events", len(tr.Events))
+	}
+}
+
+func TestCollectTracerRing(t *testing.T) {
+	tr := &CollectTracer{Max: 3, Ring: true}
+	for i := 0; i < 7; i++ {
+		tr.Event(Event{Cycle: uint64(i), Kind: EvPredict})
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(tr.Events))
+	}
+	ordered := tr.Ordered()
+	for i, want := range []uint64{4, 5, 6} {
+		if ordered[i].Cycle != want {
+			t.Errorf("ordered[%d].Cycle = %d, want %d (last events, arrival order)",
+				i, ordered[i].Cycle, want)
+		}
+	}
+	// Before wrapping, Ordered is the identity.
+	fresh := &CollectTracer{Max: 5, Ring: true}
+	fresh.Event(Event{Cycle: 9})
+	if got := fresh.Ordered(); len(got) != 1 || got[0].Cycle != 9 {
+		t.Errorf("unwrapped ring Ordered = %v", got)
+	}
+}
+
+func TestTeeTracer(t *testing.T) {
+	a := &CollectTracer{}
+	b := &CollectTracer{Max: 1}
+	tee := TeeTracer{a, b}
+	for i := 0; i < 3; i++ {
+		tee.Event(Event{Cycle: uint64(i), Kind: EvPredict})
+	}
+	if len(a.Events) != 3 || len(b.Events) != 1 {
+		t.Errorf("tee fan-out wrong: %d/%d events", len(a.Events), len(b.Events))
 	}
 }
 

@@ -51,7 +51,9 @@ type Prediction struct {
 	Entry btb.Entry
 }
 
-// Stats counts hierarchy-level activity.
+// Stats is a point-in-time view of the hierarchy counters; the
+// canonical storage is the obs metrics (see RegisterMetrics in
+// metrics.go).
 type Stats struct {
 	Predictions      int64 // dynamic predictions made
 	BTB1Hits         int64
@@ -102,8 +104,15 @@ type Hierarchy struct {
 	crossRefs map[uint64]int
 
 	hitBuf []btb.Hit // scratch for lookups
-	stats  Stats
+	met    hierMetrics
 	tracer Tracer // optional event sink (see events.go)
+
+	// Detail-metric state (see EnableDetailMetrics): timestamp maps
+	// backing the promotion-age and miss-to-install histograms. nil maps
+	// and detail=false keep the hot path allocation- and map-free.
+	detail      bool
+	installedAt map[zaddr.Addr]uint64 // BTBP install cycle per branch
+	missAt      map[uint64]uint64     // first outstanding miss report per block
 }
 
 // New builds a hierarchy; an invalid config panics (configurations are
@@ -117,6 +126,7 @@ func New(cfg Config) *Hierarchy {
 		btb1: btb.New(cfg.BTB1),
 		btbp: btb.New(cfg.BTBP),
 	}
+	h.met.setBounds()
 	if cfg.PHTEntries > 0 {
 		h.pht = pht.New(cfg.PHTEntries)
 	}
@@ -170,8 +180,25 @@ func (sequentialOrder) Order(entry zaddr.Addr) []int {
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
-// Stats returns a copy of the hierarchy counters.
-func (h *Hierarchy) Stats() Stats { return h.stats }
+// Stats returns a view of the hierarchy counters.
+func (h *Hierarchy) Stats() Stats {
+	c := &h.met.counters
+	return Stats{
+		Predictions:      c.predictions.Value(),
+		BTB1Hits:         c.btb1Hits.Value(),
+		BTBPHits:         c.btbpHits.Value(),
+		Promotions:       c.promotions.Value(),
+		BTB1Victims:      c.btb1Victims.Value(),
+		SurpriseInstalls: c.surpriseInstalls.Value(),
+		PreloadInstalls:  c.preloadInstalls.Value(),
+		PHTOverrides:     c.phtOverrides.Value(),
+		CTBOverrides:     c.ctbOverrides.Value(),
+		TransferredHits:  c.transferredHits.Value(),
+		TransferReads:    c.transferReads.Value(),
+		BTB2Writes:       c.btb2Writes.Value(),
+		ChainedSearches:  c.chainedSearches.Value(),
+	}
+}
 
 // BTB1Stats, BTBPStats and BTB2Stats expose the underlying table counters
 // (BTB2Stats returns zeros when the BTB2 is disabled).
@@ -201,19 +228,29 @@ func (h *Hierarchy) History() *history.History { return &h.hist }
 // installs whose write latency has elapsed, and BTB2 bulk-transfer row
 // reads whose data has arrived at the BTBP.
 func (h *Hierarchy) Advance(now uint64) {
-	for len(h.pendingSurprise) > 0 && h.pendingSurprise[0].at <= now {
-		h.installBTBP(h.pendingSurprise[0].entry)
-		h.pendingSurprise = h.pendingSurprise[1:]
+	// Drain due installs by compacting in place rather than re-slicing
+	// from the front: [1:] slicing walks the backing array forward and
+	// forces append to reallocate periodically, which would put
+	// steady-state allocations on the install path.
+	if n := 0; len(h.pendingSurprise) > 0 && h.pendingSurprise[0].at <= now {
+		for n < len(h.pendingSurprise) && h.pendingSurprise[n].at <= now {
+			h.installBTBP(h.pendingSurprise[n].entry, now)
+			n++
+		}
+		m := copy(h.pendingSurprise, h.pendingSurprise[n:])
+		h.pendingSurprise = h.pendingSurprise[:m]
 	}
 	if h.trk == nil {
 		return
 	}
 	for _, rd := range h.trk.Drain(now) {
-		h.stats.TransferReads++
+		h.met.counters.transferReads.Inc()
 		h.hitBuf = h.btb2.LookupLine(rd.Line, h.hitBuf[:0])
+		h.met.transferBurst.Observe(int64(len(h.hitBuf)))
 		for _, hit := range h.hitBuf {
-			h.installBTBP(hit.Entry)
-			h.stats.TransferredHits++
+			h.installBTBP(hit.Entry, now)
+			h.met.counters.transferredHits.Inc()
+			h.noteTransferInstall(hit.Entry.Addr, now)
 			h.emit(now, EvTransferHit, hit.Entry.Addr, hit.Entry.Target)
 			switch h.cfg.Policy {
 			case SemiExclusive:
@@ -270,7 +307,7 @@ func (h *Hierarchy) maybeChase(now uint64) {
 	}
 	h.chased[h.chasedPos] = best
 	h.chasedPos = (h.chasedPos + 1) % len(h.chased)
-	h.stats.ChainedSearches++
+	h.met.counters.chainedSearches.Inc()
 	entry := zaddr.Addr(best * zaddr.BlockBytes)
 	h.emit(now, EvChase, entry, 0)
 	// A chase is known-productive (real branch targets point there), so
@@ -286,7 +323,7 @@ func (h *Hierarchy) maybeChase(now uint64) {
 // is dropped: the live copy carries fresher training than a (possibly
 // stale) BTB2 transfer or a redundant surprise install, and duplicates
 // would waste first-level capacity.
-func (h *Hierarchy) installBTBP(e btb.Entry) {
+func (h *Hierarchy) installBTBP(e btb.Entry, now uint64) {
 	if h.btb1.Contains(e.Addr) || h.btbp.Contains(e.Addr) {
 		return
 	}
@@ -301,6 +338,7 @@ func (h *Hierarchy) installBTBP(e btb.Entry) {
 		return
 	}
 	h.btbp.Insert(e)
+	h.noteInstall(e.Addr, now)
 }
 
 // PendingSurpriseFor reports whether a surprise install for branch a is
@@ -349,11 +387,11 @@ func (h *Hierarchy) Predict(a zaddr.Addr, now uint64) (Prediction, bool) {
 		level = LevelBTB1
 		mru = h.hitBufMRU(a)
 		h.btb1.Touch(a)
-		h.stats.BTB1Hits++
+		h.met.counters.btb1Hits.Inc()
 	} else if ep, ok := h.btbp.Find(a); ok {
 		e = ep
 		level = LevelBTBP
-		h.stats.BTBPHits++
+		h.met.counters.btbpHits.Inc()
 		h.promote(ep, now)
 	} else {
 		return Prediction{}, false
@@ -367,7 +405,7 @@ func (h *Hierarchy) Predict(a zaddr.Addr, now uint64) (Prediction, bool) {
 		if taken, ok := h.pht.Lookup(&h.hist, a); ok {
 			p.Taken = taken
 			p.UsedPHT = true
-			h.stats.PHTOverrides++
+			h.met.counters.phtOverrides.Inc()
 		}
 	}
 	// Target: stored target unless marked multi-target with a CTB match.
@@ -377,11 +415,11 @@ func (h *Hierarchy) Predict(a zaddr.Addr, now uint64) (Prediction, bool) {
 			if tgt, ok := h.ctb.Lookup(&h.hist, a); ok {
 				p.Target = tgt
 				p.UsedCTB = true
-				h.stats.CTBOverrides++
+				h.met.counters.ctbOverrides.Inc()
 			}
 		}
 	}
-	h.stats.Predictions++
+	h.met.counters.predictions.Inc()
 	h.emit(now, EvPredict, p.Branch, p.Target)
 	return p, true
 }
@@ -404,7 +442,8 @@ func (h *Hierarchy) hitBufMRU(a zaddr.Addr) bool {
 func (h *Hierarchy) promote(e btb.Entry, now uint64) {
 	h.btbp.Invalidate(e.Addr)
 	victim, evicted := h.btb1.Insert(e)
-	h.stats.Promotions++
+	h.met.counters.promotions.Inc()
+	h.notePromotion(e.Addr, now)
 	h.emit(now, EvPromotion, e.Addr, 0)
 	if h.cfg.Policy == TrueExclusive && h.btb2 != nil {
 		// "exclusivity would be guaranteed by ... explicitly invalidating
@@ -415,7 +454,7 @@ func (h *Hierarchy) promote(e btb.Entry, now uint64) {
 	if !evicted {
 		return
 	}
-	h.stats.BTB1Victims++
+	h.met.counters.btb1Victims.Inc()
 	h.emit(now, EvVictim, victim.Addr, 0)
 	h.btbp.Insert(victim)
 	h.writeBTB2Victim(victim)
@@ -432,14 +471,14 @@ func (h *Hierarchy) writeBTB2Victim(victim btb.Entry) {
 		// LRU column in the BTB2 and made MRU" — btb.Insert replaces the
 		// LRU way and promotes.
 		h.btb2.Insert(victim)
-		h.stats.BTB2Writes++
+		h.met.counters.btb2Writes.Inc()
 	case Inclusive:
 		// The copy already exists (inclusive); refresh it with the
 		// learned state, installing only if it was lost to aliasing.
 		if !h.btb2.Update(victim) {
 			h.btb2.Insert(victim)
 		}
-		h.stats.BTB2Writes++
+		h.met.counters.btb2Writes.Inc()
 	}
 }
 
@@ -506,7 +545,7 @@ func (h *Hierarchy) resolveSurprise(in trace.Inst, now uint64) {
 	if !in.Taken {
 		e.Target = 0
 	}
-	h.stats.SurpriseInstalls++
+	h.met.counters.surpriseInstalls.Inc()
 	h.emit(now, EvSurpriseInstall, in.Addr, e.Target)
 	// The BTBP write becomes visible after the completion-time write
 	// latency; re-executions inside the window are latency surprises.
@@ -521,7 +560,7 @@ func (h *Hierarchy) resolveSurprise(in trace.Inst, now uint64) {
 			return // avoid the duplicate a truly exclusive design forbids
 		}
 		h.btb2.Insert(e)
-		h.stats.BTB2Writes++
+		h.met.counters.btb2Writes.Inc()
 	}
 }
 
@@ -533,7 +572,7 @@ func (h *Hierarchy) PreloadBranch(branch, target zaddr.Addr, length uint8, now u
 	if h.btb1.Contains(branch) || h.btbp.Contains(branch) {
 		return // already resident; the live copy is fresher
 	}
-	h.stats.PreloadInstalls++
+	h.met.counters.preloadInstalls.Inc()
 	h.emit(now, EvPreloadInstall, branch, target)
 	h.pendingSurprise = append(h.pendingSurprise, pendingInstall{
 		at: now + h.cfg.SurpriseInstallDelay,
@@ -559,6 +598,8 @@ func (h *Hierarchy) FITLookup(a, next zaddr.Addr) bool {
 // BTB2 search trackers. No-op without a BTB2.
 func (h *Hierarchy) ReportBTB1Miss(a zaddr.Addr, now uint64) {
 	if h.trk != nil {
+		h.met.counters.missReports.Inc()
+		h.noteMissReport(a, now)
 		h.emit(now, EvMissReport, a, 0)
 		h.trk.OnBTB1Miss(a, now)
 	}
@@ -568,6 +609,8 @@ func (h *Hierarchy) ReportBTB1Miss(a zaddr.Addr, now uint64) {
 // (Section 3.5's filter). No-op without a BTB2.
 func (h *Hierarchy) ReportICacheMiss(a zaddr.Addr, now uint64) {
 	if h.trk != nil {
+		h.met.counters.icacheReports.Inc()
+		h.noteMissReport(a, now)
 		h.emit(now, EvICacheReport, a, 0)
 		h.trk.OnICacheMiss(a, now)
 	}
@@ -621,7 +664,14 @@ func (h *Hierarchy) Reset() {
 	h.chased = [8]uint64{}
 	h.chasedPos = 0
 	h.crossRefs = nil
-	h.stats = Stats{}
+	h.met.counters = hierCounters{}
+	h.met.promotionAge.Reset()
+	h.met.transferBurst.Reset()
+	h.met.missToInstall.Reset()
+	if h.detail {
+		clear(h.installedAt)
+		clear(h.missAt)
+	}
 }
 
 // SurpriseGuess returns the static direction guess for a surprise branch:

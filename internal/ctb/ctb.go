@@ -7,6 +7,7 @@ package ctb
 
 import (
 	"bulkpreload/internal/history"
+	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
 )
 
@@ -22,7 +23,8 @@ type entry struct {
 	target zaddr.Addr
 }
 
-// Stats counts CTB activity.
+// Stats is a point-in-time view of the CTB counters; the canonical
+// storage is the obs metrics (see RegisterMetrics).
 type Stats struct {
 	Lookups  int64
 	Hits     int64
@@ -30,10 +32,18 @@ type Stats struct {
 	Updates  int64
 }
 
+// metrics is the CTB's registry-backed counter set.
+type metrics struct {
+	lookups  obs.Counter
+	hits     obs.Counter
+	installs obs.Counter
+	updates  obs.Counter
+}
+
 // Table is the changing target buffer.
 type Table struct {
 	entries []entry
-	stats   Stats
+	met     metrics
 }
 
 // New builds a CTB with the given entry count (power of two).
@@ -47,8 +57,37 @@ func New(entries int) *Table {
 // Entries returns the table size.
 func (t *Table) Entries() int { return len(t.entries) }
 
-// Stats returns a copy of the counters.
-func (t *Table) Stats() Stats { return t.stats }
+// Stats returns a view of the counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Lookups:  t.met.lookups.Value(),
+		Hits:     t.met.hits.Value(),
+		Installs: t.met.installs.Value(),
+		Updates:  t.met.updates.Value(),
+	}
+}
+
+// RegisterMetrics enumerates the CTB counters (plus a computed occupancy
+// gauge) into r under the given prefix, e.g. "ctb_".
+func (t *Table) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"lookups_total", "lookups", "path-correlated target lookups", &t.met.lookups)
+	r.Counter(prefix+"hits_total", "lookups", "lookups with a valid tag match", &t.met.hits)
+	r.Counter(prefix+"installs_total", "entries", "new entries written", &t.met.installs)
+	r.Counter(prefix+"updates_total", "entries", "in-place target retrains", &t.met.updates)
+	r.GaugeFunc(prefix+"occupancy_entries", "entries", "valid entries currently resident",
+		func() int64 { return int64(t.CountValid()) })
+}
+
+// CountValid returns the number of valid entries.
+func (t *Table) CountValid() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
 
 func tagOf(a zaddr.Addr) uint16 {
 	return uint16((uint64(a) >> 1) & ((1 << tagBits) - 1))
@@ -57,12 +96,12 @@ func tagOf(a zaddr.Addr) uint16 {
 // Lookup returns the path-correlated target for the branch at addr. ok is
 // false on tag mismatch, in which case the caller uses the BTB target.
 func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (target zaddr.Addr, ok bool) {
-	t.stats.Lookups++
+	t.met.lookups.Inc()
 	e := &t.entries[h.CTBIndex(addr, len(t.entries))]
 	if !e.valid || e.tag != tagOf(addr) {
 		return 0, false
 	}
-	t.stats.Hits++
+	t.met.hits.Inc()
 	return e.target, true
 }
 
@@ -72,11 +111,11 @@ func (t *Table) Update(h *history.History, addr, target zaddr.Addr) {
 	tag := tagOf(addr)
 	if e.valid && e.tag == tag {
 		e.target = target
-		t.stats.Updates++
+		t.met.updates.Inc()
 		return
 	}
 	*e = entry{valid: true, tag: tag, target: target}
-	t.stats.Installs++
+	t.met.installs.Inc()
 }
 
 // Reset invalidates every entry.
@@ -84,5 +123,5 @@ func (t *Table) Reset() {
 	for i := range t.entries {
 		t.entries[i] = entry{}
 	}
-	t.stats = Stats{}
+	t.met = metrics{}
 }

@@ -6,6 +6,7 @@ import (
 	"bulkpreload/internal/btb"
 	"bulkpreload/internal/cache"
 	"bulkpreload/internal/core"
+	"bulkpreload/internal/obs"
 	"bulkpreload/internal/predictor"
 	"bulkpreload/internal/stats"
 	"bulkpreload/internal/trace"
@@ -37,6 +38,17 @@ type Result struct {
 	BTB2    btb.Stats
 
 	MissesReported int64 // BTB1 misses reported by the detector
+
+	// Metrics is the final registry snapshot of the run — every counter,
+	// gauge, and histogram of every structure, enumerable by name. Use
+	// it for cross-shard aggregation (obs.Snapshot.Merge) and trace
+	// reconciliation. Excluded from JSON so golden records stay stable.
+	Metrics *obs.Snapshot `json:"-"`
+
+	// Snapshots are the interval snapshots taken every
+	// Params.SnapshotInterval instructions (empty when the interval is
+	// zero); feed them to report.PhaseTimeline.
+	Snapshots []obs.Snapshot `json:"-"`
 }
 
 // CPI returns cycles per instruction.
@@ -103,6 +115,13 @@ type Engine struct {
 
 	res Result
 
+	// reg enumerates every metric of the current run's structures; it is
+	// rebuilt with them on reset. snapSeq numbers interval snapshots,
+	// nextSnap is the instruction count that triggers the next one.
+	reg      *obs.Registry
+	snapSeq  int64
+	nextSnap int64
+
 	// Warmup snapshot, subtracted from the result when the trace is long
 	// enough to cross the warmup boundary.
 	warmTaken      bool
@@ -150,6 +169,62 @@ func (e *Engine) reset() {
 	e.warmMispredict = 0
 	e.warmSurprise = 0
 	e.warmICache = 0
+
+	e.snapSeq = 0
+	e.nextSnap = 0
+	if e.params.SnapshotInterval > 0 {
+		e.nextSnap = e.params.SnapshotInterval
+		e.hier.EnableDetailMetrics()
+	}
+	e.buildRegistry()
+}
+
+// buildRegistry enumerates every metric of the freshly reset run: the
+// hierarchy with all its structures, both instruction caches, and the
+// engine's own instruction/cycle/outcome/penalty accounting.
+func (e *Engine) buildRegistry() {
+	r := obs.NewRegistry()
+	e.hier.RegisterMetrics(r)
+	e.l1i.RegisterMetrics(r, "l1i_")
+	if e.l2i != nil {
+		e.l2i.RegisterMetrics(r, "l2i_")
+	}
+	r.CounterFunc("engine_instructions_total", "instructions", "committed instructions",
+		func() int64 { return e.res.Instructions })
+	r.GaugeFunc("engine_cycles", "cycles", "decode/completion clock position",
+		func() int64 { return int64(e.clock.ToCycles()) })
+	r.GaugeFunc("engine_bp_cycles", "cycles", "search pipeline clock position",
+		func() int64 { return int64(e.bpClock.ToCycles()) })
+	r.CounterFunc("engine_misses_reported_total", "events", "BTB1 misses flagged by the miss detector",
+		func() int64 { return e.missDet.Reported() })
+	r.CounterFunc("engine_mispredict_cycles_total", "cycles", "cycles charged to mispredict restarts",
+		func() int64 { return int64(e.res.MispredictCycles) })
+	r.CounterFunc("engine_surprise_cycles_total", "cycles", "cycles charged to surprise redirects",
+		func() int64 { return int64(e.res.SurpriseCycles) })
+	r.CounterFunc("engine_icache_cycles_total", "cycles", "cycles charged to I-cache misses",
+		func() int64 { return int64(e.res.ICacheCycles) })
+	for o := stats.Outcome(0); o < stats.NumOutcomes; o++ {
+		o := o
+		r.CounterFunc(o.MetricName(), "branches", "branches with outcome "+o.String(),
+			func() int64 { return e.res.Outcomes.N[o] })
+	}
+	e.reg = r
+}
+
+// Registry exposes the run's metric registry. It belongs to the
+// simulation goroutine (see the obs package comment); cross-goroutine
+// consumers must go through published snapshots.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// snapshot captures the registry, appends it to the result, and feeds
+// the sink if one is configured.
+func (e *Engine) snapshot() {
+	e.snapSeq++
+	s := e.reg.Snapshot(e.snapSeq)
+	e.res.Snapshots = append(e.res.Snapshots, s)
+	if e.params.SnapshotSink != nil {
+		e.params.SnapshotSink(s)
+	}
 }
 
 // Hierarchy exposes the predictor under test (diagnostics).
@@ -175,6 +250,18 @@ func (e *Engine) Run(src trace.Source, configName string) Result {
 }
 
 func (e *Engine) finishResult() {
+	// Capture registry state before the warmup subtraction below mutates
+	// e.res: registry counters are raw cumulative values, and the final
+	// snapshot must stay comparable with the interval ones (and with
+	// exported trace event counts).
+	if e.params.SnapshotInterval > 0 {
+		// Close the timeline with an end-of-run snapshot so the last
+		// partial interval is observable too.
+		e.snapshot()
+	}
+	final := e.reg.Snapshot(e.snapSeq + 1)
+	e.res.Metrics = &final
+
 	e.res.Cycles = e.clock.Float()
 	if e.warmTaken {
 		// Subtract the warmup region so reported CPI and outcome shares
@@ -215,6 +302,10 @@ func (e *Engine) step(in trace.Inst) {
 		e.warmICache = e.res.ICacheCycles
 	}
 	e.res.Instructions++
+	if e.nextSnap > 0 && e.res.Instructions >= e.nextSnap {
+		e.snapshot()
+		e.nextSnap += e.params.SnapshotInterval
+	}
 	e.clock += e.params.DispatchTicks
 	e.fetch(in.Addr)
 	e.advanceSearch(in.Addr)

@@ -19,6 +19,7 @@ import (
 
 	"bulkpreload/internal/cache"
 	"bulkpreload/internal/core"
+	"bulkpreload/internal/obs"
 	"bulkpreload/internal/predictor"
 )
 
@@ -88,6 +89,18 @@ type Params struct {
 	// run (see core.Tracer). For observability tooling; adds inline
 	// call overhead.
 	EventTracer core.Tracer `json:"-"`
+
+	// SnapshotInterval, when positive, makes the engine capture a full
+	// registry snapshot every SnapshotInterval committed instructions
+	// (and once at the end of the run) into Result.Snapshots, enabling
+	// phase timelines over long simulations. It also switches the
+	// hierarchy's detail metrics on (promotion age, miss-to-install).
+	SnapshotInterval int64
+
+	// SnapshotSink, when non-nil, additionally receives each interval
+	// snapshot as it is taken — e.g. obs.(*Live).Publish for live HTTP
+	// introspection of a running simulation.
+	SnapshotSink func(obs.Snapshot) `json:"-"`
 }
 
 // DefaultParams returns the simulation-mode parameter set used throughout
@@ -133,6 +146,9 @@ func (p Params) Validate() error {
 	}
 	if p.PredictionSlack < 0 || p.WarmupInstructions < 0 {
 		return fmt.Errorf("engine: PredictionSlack and WarmupInstructions must be non-negative")
+	}
+	if p.SnapshotInterval < 0 {
+		return fmt.Errorf("engine: SnapshotInterval must be non-negative")
 	}
 	if err := p.Throughput.Validate(); err != nil {
 		return err

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"testing"
+
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/obs"
+	"bulkpreload/internal/stats"
+	"bulkpreload/internal/workload"
+)
+
+// snapshotProfile is a capacity-bound workload big enough to promote,
+// transfer, and cross several snapshot intervals.
+func snapshotProfile() workload.Profile {
+	return workload.Profile{
+		Name: "snap-test", UniqueBranches: 10_000, TakenFraction: 0.65,
+		Instructions: 120_000, HotFraction: 0.15, WindowFunctions: 48,
+		CallsPerTransaction: 6, Seed: 99,
+	}
+}
+
+func TestSnapshotInterval(t *testing.T) {
+	p := fastParams()
+	p.SnapshotInterval = 10_000
+	var sunk []obs.Snapshot
+	p.SnapshotSink = func(s obs.Snapshot) { sunk = append(sunk, s) }
+	r := Run(workload.New(snapshotProfile()), core.DefaultConfig(), p, "t")
+
+	// 120k instructions at a 10k interval: 12 interval snapshots plus the
+	// end-of-run one.
+	if len(r.Snapshots) != 13 {
+		t.Fatalf("got %d snapshots, want 13", len(r.Snapshots))
+	}
+	if len(sunk) != len(r.Snapshots) {
+		t.Errorf("sink saw %d snapshots, result holds %d", len(sunk), len(r.Snapshots))
+	}
+	var prevInsts, prevSeq int64
+	for i, s := range r.Snapshots {
+		if s.Seq <= prevSeq && i > 0 {
+			t.Errorf("snapshot %d: seq %d not increasing", i, s.Seq)
+		}
+		insts := s.Counter("engine_instructions_total")
+		if insts < prevInsts {
+			t.Errorf("snapshot %d: instructions went backwards (%d -> %d)", i, prevInsts, insts)
+		}
+		prevInsts, prevSeq = insts, s.Seq
+	}
+	if got := r.Snapshots[len(r.Snapshots)-1].Counter("engine_instructions_total"); got != 120_000 {
+		t.Errorf("final snapshot instructions = %d, want 120000", got)
+	}
+
+	if r.Metrics == nil {
+		t.Fatal("Result.Metrics missing")
+	}
+	// Detail histograms are armed when an interval is set; a
+	// capacity-bound workload must promote.
+	v, ok := r.Metrics.Get("hier_promotion_age_cycles")
+	if !ok {
+		t.Fatal("promotion-age histogram not registered")
+	}
+	if v.Count == 0 {
+		t.Error("promotion-age histogram empty in detail mode")
+	}
+}
+
+func TestMetricsWithoutInterval(t *testing.T) {
+	r := Run(workload.New(snapshotProfile()), core.DefaultConfig(), fastParams(), "t")
+	if len(r.Snapshots) != 0 {
+		t.Errorf("got %d snapshots with no interval set", len(r.Snapshots))
+	}
+	if r.Metrics == nil {
+		t.Fatal("final metrics snapshot must exist even without an interval")
+	}
+	// No warmup: the raw registry counter equals the reported count.
+	if got := r.Metrics.Counter("engine_instructions_total"); got != r.Instructions {
+		t.Errorf("registry instructions %d != result %d", got, r.Instructions)
+	}
+	// Detail histograms stay dormant (and free) without an interval.
+	if v, _ := r.Metrics.Get("hier_promotion_age_cycles"); v.Count != 0 {
+		t.Errorf("promotion-age histogram observed %d values with detail off", v.Count)
+	}
+	// The outcome counters partition all branches.
+	var sum int64
+	for o := stats.Outcome(0); o < stats.NumOutcomes; o++ {
+		sum += r.Metrics.Counter(o.MetricName())
+	}
+	if sum != r.Outcomes.Total() {
+		t.Errorf("outcome counters sum to %d, result counts %d", sum, r.Outcomes.Total())
+	}
+}
+
+func TestSnapshotIntervalValidation(t *testing.T) {
+	p := DefaultParams()
+	p.SnapshotInterval = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative snapshot interval accepted")
+	}
+}

@@ -11,7 +11,10 @@
 // stale entry costs nothing but the lost acceleration.
 package fit
 
-import "bulkpreload/internal/zaddr"
+import (
+	"bulkpreload/internal/obs"
+	"bulkpreload/internal/zaddr"
+)
 
 // DefaultEntries is the zEC12 FIT size (a "64 branch Fast Index Table").
 const DefaultEntries = 64
@@ -22,7 +25,8 @@ type entry struct {
 	next   zaddr.Addr // search address to re-index to (the branch target)
 }
 
-// Stats counts FIT activity.
+// Stats is a point-in-time view of the FIT counters; the canonical
+// storage is the obs metrics (see RegisterMetrics).
 type Stats struct {
 	Lookups  int64
 	Hits     int64 // branch found with a matching next-index
@@ -30,12 +34,20 @@ type Stats struct {
 	Installs int64
 }
 
+// metrics is the FIT's registry-backed counter set.
+type metrics struct {
+	lookups  obs.Counter
+	hits     obs.Counter
+	stale    obs.Counter
+	installs obs.Counter
+}
+
 // Table is the fast index table: fully associative with true LRU.
 type Table struct {
 	entries []entry
 	// lru[i] is the slot index at recency rank i (0 = MRU).
-	lru   []int
-	stats Stats
+	lru []int
+	met metrics
 }
 
 // New builds a FIT with n entries.
@@ -53,23 +65,52 @@ func New(n int) *Table {
 // Entries returns the table size.
 func (t *Table) Entries() int { return len(t.entries) }
 
-// Stats returns a copy of the counters.
-func (t *Table) Stats() Stats { return t.stats }
+// Stats returns a view of the counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Lookups:  t.met.lookups.Value(),
+		Hits:     t.met.hits.Value(),
+		Stale:    t.met.stale.Value(),
+		Installs: t.met.installs.Value(),
+	}
+}
+
+// RegisterMetrics enumerates the FIT counters (plus a computed occupancy
+// gauge) into r under the given prefix, e.g. "fit_".
+func (t *Table) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"lookups_total", "lookups", "accelerated re-index probes", &t.met.lookups)
+	r.Counter(prefix+"hits_total", "lookups", "probes confirmed by the full BTB1 search", &t.met.hits)
+	r.Counter(prefix+"stale_total", "lookups", "probes whose stored index was wrong", &t.met.stale)
+	r.Counter(prefix+"installs_total", "entries", "new entries written", &t.met.installs)
+	r.GaugeFunc(prefix+"occupancy_entries", "entries", "valid entries currently resident",
+		func() int64 { return int64(t.CountValid()) })
+}
+
+// CountValid returns the number of valid entries.
+func (t *Table) CountValid() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
 
 // Lookup checks whether the taken branch at addr has a FIT entry whose
 // stored re-index address equals next. Only such confirmed hits earn the
 // accelerated 2-cycle re-index; mismatches are counted as stale.
 func (t *Table) Lookup(addr, next zaddr.Addr) bool {
-	t.stats.Lookups++
+	t.met.lookups.Inc()
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.branch == addr {
 			if e.next == next {
-				t.stats.Hits++
+				t.met.hits.Inc()
 				t.promote(i)
 				return true
 			}
-			t.stats.Stale++
+			t.met.stale.Inc()
 			return false
 		}
 	}
@@ -89,7 +130,7 @@ func (t *Table) Train(addr, next zaddr.Addr) {
 	}
 	victim := t.lru[len(t.lru)-1]
 	t.entries[victim] = entry{valid: true, branch: addr, next: next}
-	t.stats.Installs++
+	t.met.installs.Inc()
 	t.promote(victim)
 }
 
@@ -113,5 +154,5 @@ func (t *Table) Reset() {
 	for i := range t.lru {
 		t.lru[i] = i
 	}
-	t.stats = Stats{}
+	t.met = metrics{}
 }

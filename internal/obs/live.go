@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"sync/atomic"
+)
+
+// Live publishes registry snapshots across goroutines. The simulation
+// goroutine calls Publish at each snapshot interval; HTTP handlers and
+// expvar read whatever snapshot was published last. Because snapshots
+// are immutable plain data behind an atomic pointer, readers never race
+// with the allocation-free hot path. The zero value is ready to use.
+type Live struct {
+	p atomic.Pointer[Snapshot]
+}
+
+// Publish makes s the current snapshot.
+func (l *Live) Publish(s Snapshot) {
+	s.FillKinds()
+	l.p.Store(&s)
+}
+
+// Load returns the most recently published snapshot, or nil before the
+// first Publish.
+func (l *Live) Load() *Snapshot { return l.p.Load() }
+
+// ServeHTTP renders the current snapshot in Prometheus text format
+// (mount it at /metrics). Before the first Publish it answers 204.
+func (l *Live) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	s := l.Load()
+	if s == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.WritePrometheus(w)
+}
+
+// Var returns the snapshot as an expvar.Var so live registry state shows
+// up under /debug/vars alongside the runtime's own variables.
+func (l *Live) Var() expvar.Var {
+	return expvar.Func(func() any {
+		if s := l.Load(); s != nil {
+			return s
+		}
+		return Snapshot{}
+	})
+}
+
+// Handler returns an http.Handler serving the full live-introspection
+// surface: /metrics (Prometheus text), /snapshot (raw snapshot JSON),
+// and /debug/vars (expvar, including every var published process-wide).
+func (l *Live) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", l)
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		s := l.Load()
+		if s == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -10,6 +10,7 @@ package pht
 import (
 	"bulkpreload/internal/bht"
 	"bulkpreload/internal/history"
+	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
 )
 
@@ -26,7 +27,8 @@ type entry struct {
 	dir   bht.Bimodal
 }
 
-// Stats counts PHT activity.
+// Stats is a point-in-time view of the PHT counters; the canonical
+// storage is the obs metrics (see RegisterMetrics).
 type Stats struct {
 	Lookups  int64
 	Hits     int64 // tag matches
@@ -34,10 +36,18 @@ type Stats struct {
 	Updates  int64
 }
 
+// metrics is the PHT's registry-backed counter set.
+type metrics struct {
+	lookups  obs.Counter
+	hits     obs.Counter
+	installs obs.Counter
+	updates  obs.Counter
+}
+
 // Table is the pattern history table.
 type Table struct {
 	entries []entry
-	stats   Stats
+	met     metrics
 }
 
 // New builds a PHT with the given entry count (power of two).
@@ -51,8 +61,37 @@ func New(entries int) *Table {
 // Entries returns the table size.
 func (t *Table) Entries() int { return len(t.entries) }
 
-// Stats returns a copy of the counters.
-func (t *Table) Stats() Stats { return t.stats }
+// Stats returns a view of the counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Lookups:  t.met.lookups.Value(),
+		Hits:     t.met.hits.Value(),
+		Installs: t.met.installs.Value(),
+		Updates:  t.met.updates.Value(),
+	}
+}
+
+// RegisterMetrics enumerates the PHT counters (plus a computed occupancy
+// gauge) into r under the given prefix, e.g. "pht_".
+func (t *Table) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"lookups_total", "lookups", "pattern-history direction lookups", &t.met.lookups)
+	r.Counter(prefix+"hits_total", "lookups", "lookups with a valid tag match", &t.met.hits)
+	r.Counter(prefix+"installs_total", "entries", "new entries written", &t.met.installs)
+	r.Counter(prefix+"updates_total", "entries", "in-place direction retrains", &t.met.updates)
+	r.GaugeFunc(prefix+"occupancy_entries", "entries", "valid entries currently resident",
+		func() int64 { return int64(t.CountValid()) })
+}
+
+// CountValid returns the number of valid entries.
+func (t *Table) CountValid() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
 
 func tagOf(a zaddr.Addr) uint16 {
 	return uint16((uint64(a) >> 1) & ((1 << tagBits) - 1))
@@ -62,12 +101,12 @@ func tagOf(a zaddr.Addr) uint16 {
 // given path history. ok is false on a tag mismatch or invalid entry, in
 // which case the caller falls back to the BTB's bimodal direction.
 func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (taken bool, ok bool) {
-	t.stats.Lookups++
+	t.met.lookups.Inc()
 	e := &t.entries[h.PHTIndex(addr, len(t.entries))]
 	if !e.valid || e.tag != tagOf(addr) {
 		return false, false
 	}
-	t.stats.Hits++
+	t.met.hits.Inc()
 	return e.dir.Taken(), true
 }
 
@@ -79,11 +118,11 @@ func (t *Table) Update(h *history.History, addr zaddr.Addr, taken bool) {
 	tag := tagOf(addr)
 	if e.valid && e.tag == tag {
 		e.dir = e.dir.Update(taken)
-		t.stats.Updates++
+		t.met.updates.Inc()
 		return
 	}
 	*e = entry{valid: true, tag: tag, dir: bht.Init(taken)}
-	t.stats.Installs++
+	t.met.installs.Inc()
 }
 
 // Reset invalidates every entry.
@@ -91,5 +130,5 @@ func (t *Table) Reset() {
 	for i := range t.entries {
 		t.entries[i] = entry{}
 	}
-	t.stats = Stats{}
+	t.met = metrics{}
 }

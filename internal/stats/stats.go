@@ -10,7 +10,10 @@
 // missed due to latency)."
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Outcome classifies one dynamic branch execution.
 type Outcome uint8
@@ -59,6 +62,12 @@ func (o Outcome) String() string {
 	default:
 		return fmt.Sprintf("Outcome(%d)", uint8(o))
 	}
+}
+
+// MetricName returns the registry counter name under which the engine
+// publishes this outcome, e.g. "engine_outcome_bad_wrong_dir_total".
+func (o Outcome) MetricName() string {
+	return "engine_outcome_" + strings.ReplaceAll(o.String(), "-", "_") + "_total"
 }
 
 // Bad reports whether the outcome incurs a penalty.

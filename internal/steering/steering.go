@@ -14,6 +14,7 @@ package steering
 import (
 	"fmt"
 
+	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
 )
 
@@ -38,12 +39,21 @@ type entry struct {
 	q     [zaddr.QuartilesPerBlock]quartileInfo
 }
 
-// Stats counts ordering-table activity.
+// Stats is a point-in-time view of the ordering-table counters; the
+// canonical storage is the obs metrics (see RegisterMetrics).
 type Stats struct {
 	Lookups  int64
 	Hits     int64
 	Installs int64
 	Merges   int64 // block-exit merges into an existing entry
+}
+
+// metrics is the ordering table's registry-backed counter set.
+type metrics struct {
+	lookups  obs.Counter
+	hits     obs.Counter
+	installs obs.Counter
+	merges   obs.Counter
 }
 
 // Table is the tagged ordering table plus the live tracking state for the
@@ -53,7 +63,7 @@ type Table struct {
 	ways  int
 	ents  []entry // sets x ways
 	order []uint8 // recency per set (rank 0 = MRU)
-	stats Stats
+	met   metrics
 
 	// Live tracking (Section 3.7: maintained "as a function of
 	// instruction checkpoint" until another block is entered).
@@ -90,8 +100,37 @@ func New(entries, ways int) *Table {
 // NewDefault builds the paper's 512-entry 2-way table.
 func NewDefault() *Table { return New(DefaultEntries, DefaultWays) }
 
-// Stats returns a copy of the counters.
-func (t *Table) Stats() Stats { return t.stats }
+// Stats returns a view of the counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Lookups:  t.met.lookups.Value(),
+		Hits:     t.met.hits.Value(),
+		Installs: t.met.installs.Value(),
+		Merges:   t.met.merges.Value(),
+	}
+}
+
+// RegisterMetrics enumerates the ordering-table counters (plus a computed
+// occupancy gauge) into r under the given prefix, e.g. "steering_".
+func (t *Table) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"lookups_total", "searches", "ordering lookups at full-search launch", &t.met.lookups)
+	r.Counter(prefix+"hits_total", "searches", "lookups finding a recorded ordering", &t.met.hits)
+	r.Counter(prefix+"installs_total", "entries", "new ordering entries written at block exit", &t.met.installs)
+	r.Counter(prefix+"merges_total", "entries", "block-exit merges into an existing entry", &t.met.merges)
+	r.GaugeFunc(prefix+"occupancy_entries", "entries", "valid ordering entries currently resident",
+		func() int64 { return int64(t.CountValid()) })
+}
+
+// CountValid returns the number of valid ordering entries.
+func (t *Table) CountValid() int {
+	n := 0
+	for i := range t.ents {
+		if t.ents[i].valid {
+			n++
+		}
+	}
+	return n
+}
 
 func (t *Table) setAndTag(block uint64) (int, uint64) {
 	return int(block & uint64(t.sets-1)), block >> uint(log2(t.sets))
@@ -137,7 +176,7 @@ func (t *Table) flush() {
 			e.q[i].sectors |= t.cur[i].sectors
 			e.q[i].refs |= t.cur[i].refs
 		}
-		t.stats.Merges++
+		t.met.merges.Inc()
 		t.touch(block)
 		return
 	}
@@ -154,7 +193,7 @@ func (t *Table) flush() {
 		way = int(t.order[base+t.ways-1]) // LRU
 	}
 	t.ents[base+way] = entry{valid: true, tag: tag, q: t.cur}
-	t.stats.Installs++
+	t.met.installs.Inc()
 	t.promote(set, way)
 }
 
@@ -228,7 +267,7 @@ func (t *Table) snapshotFor(block uint64) ([zaddr.QuartilesPerBlock]quartileInfo
 // visited starting from the entry sector's position and wrapping, so the
 // code about to execute is transferred soonest.
 func (t *Table) Order(entryAddr zaddr.Addr) []int {
-	t.stats.Lookups++
+	t.met.lookups.Inc()
 	block := zaddr.Block(entryAddr)
 	demand := zaddr.Quartile(entryAddr)
 	entrySector := zaddr.Sector(entryAddr)
@@ -241,7 +280,7 @@ func (t *Table) Order(entryAddr zaddr.Addr) []int {
 		}
 		return out
 	}
-	t.stats.Hits++
+	t.met.hits.Inc()
 
 	active := func(s int) bool {
 		qi := zaddr.SectorQuartile(s)
@@ -291,7 +330,7 @@ func (t *Table) Reset() {
 		}
 	}
 	t.curValid = false
-	t.stats = Stats{}
+	t.met = metrics{}
 }
 
 func log2(n int) int {

@@ -20,6 +20,7 @@ package tracker
 import (
 	"fmt"
 
+	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
 )
 
@@ -89,7 +90,8 @@ type Read struct {
 	Ready uint64     // cycle at which the row's hits reach the BTBP
 }
 
-// Stats counts tracker activity.
+// Stats is a point-in-time view of the tracker counters; the canonical
+// storage is the obs metrics (see RegisterMetrics).
 type Stats struct {
 	BTB1Misses   int64 // miss reports delivered
 	ICacheMisses int64
@@ -134,7 +136,19 @@ type Trackers struct {
 	// portFree is the next cycle at which the search port can accept a
 	// row read.
 	portFree uint64
-	stats    Stats
+	met      metrics
+}
+
+// metrics is the tracker array's registry-backed counter set.
+type metrics struct {
+	btb1Misses   obs.Counter
+	icacheMisses obs.Counter
+	partial      obs.Counter
+	full         obs.Counter
+	upgrades     obs.Counter
+	invalidated  obs.Counter
+	dropped      obs.Counter
+	rowsRead     obs.Counter
 }
 
 // New builds a tracker array; invalid config panics.
@@ -151,8 +165,34 @@ func New(cfg Config, ord Orderer) *Trackers {
 // Config returns the tracker configuration.
 func (t *Trackers) Config() Config { return t.cfg }
 
-// Stats returns a copy of the counters.
-func (t *Trackers) Stats() Stats { return t.stats }
+// Stats returns a view of the counters.
+func (t *Trackers) Stats() Stats {
+	return Stats{
+		BTB1Misses:   t.met.btb1Misses.Value(),
+		ICacheMisses: t.met.icacheMisses.Value(),
+		Partial:      t.met.partial.Value(),
+		Full:         t.met.full.Value(),
+		Upgrades:     t.met.upgrades.Value(),
+		Invalidated:  t.met.invalidated.Value(),
+		Dropped:      t.met.dropped.Value(),
+		RowsRead:     t.met.rowsRead.Value(),
+	}
+}
+
+// RegisterMetrics enumerates the tracker counters (plus a pending-reads
+// gauge) into r under the given prefix, e.g. "tracker_".
+func (t *Trackers) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"btb1_misses_total", "events", "BTB1 miss reports delivered", &t.met.btb1Misses)
+	r.Counter(prefix+"icache_misses_total", "events", "I-cache miss reports delivered", &t.met.icacheMisses)
+	r.Counter(prefix+"partial_searches_total", "searches", "partial searches launched", &t.met.partial)
+	r.Counter(prefix+"full_searches_total", "searches", "full searches launched (incl. upgrades)", &t.met.full)
+	r.Counter(prefix+"upgrades_total", "searches", "partial searches upgraded to full", &t.met.upgrades)
+	r.Counter(prefix+"invalidated_total", "searches", "partial searches whose tracker died un-upgraded", &t.met.invalidated)
+	r.Counter(prefix+"dropped_total", "events", "miss reports dropped with all trackers busy", &t.met.dropped)
+	r.Counter(prefix+"rows_read_total", "rows", "BTB2 row reads scheduled", &t.met.rowsRead)
+	r.GaugeFunc(prefix+"pending_reads", "rows", "scheduled but undrained row reads",
+		func() int64 { return int64(t.PendingReads()) })
+}
 
 // ActiveSearches returns the number of trackers with a search in flight.
 func (t *Trackers) ActiveSearches(now uint64) int {
@@ -178,7 +218,7 @@ func (t *Trackers) reap(now uint64) {
 			if now >= s.lastReady {
 				// Partial done; I-cache bit still invalid => invalidate.
 				if !s.icache {
-					t.stats.Invalidated++
+					t.met.invalidated.Inc()
 					*s = slot{}
 				} else {
 					// Upgrade raced with completion: finish as full.
@@ -225,7 +265,7 @@ func (t *Trackers) allocate() int {
 // OnBTB1Miss reports a perceived first-level miss detected at cycle now
 // with starting search address addr (Section 3.4's definition).
 func (t *Trackers) OnBTB1Miss(addr zaddr.Addr, now uint64) {
-	t.stats.BTB1Misses++
+	t.met.btb1Misses.Inc()
 	t.reap(now)
 	block := zaddr.Block(addr)
 	if i := t.findSlot(block); i >= 0 {
@@ -242,7 +282,7 @@ func (t *Trackers) OnBTB1Miss(addr zaddr.Addr, now uint64) {
 	}
 	i := t.allocate()
 	if i < 0 {
-		t.stats.Dropped++
+		t.met.dropped.Inc()
 		return
 	}
 	t.slots[i] = slot{block: block, missAddr: addr, allocTime: now}
@@ -257,7 +297,7 @@ func (t *Trackers) OnBTB1Miss(addr zaddr.Addr, now uint64) {
 // OnICacheMiss reports a first-level instruction cache miss at address
 // addr at cycle now.
 func (t *Trackers) OnICacheMiss(addr zaddr.Addr, now uint64) {
-	t.stats.ICacheMisses++
+	t.met.icacheMisses.Inc()
 	t.reap(now)
 	block := zaddr.Block(addr)
 	if i := t.findSlot(block); i >= 0 {
@@ -274,7 +314,7 @@ func (t *Trackers) OnICacheMiss(addr zaddr.Addr, now uint64) {
 	}
 	i := t.allocate()
 	if i < 0 {
-		t.stats.Dropped++
+		t.met.dropped.Inc()
 		return
 	}
 	t.slots[i] = slot{st: icacheOnly, block: block, icache: true, allocTime: now}
@@ -285,7 +325,7 @@ func (t *Trackers) OnICacheMiss(addr zaddr.Addr, now uint64) {
 func (t *Trackers) launchPartial(i int, now uint64) {
 	s := &t.slots[i]
 	s.st = partialActive
-	t.stats.Partial++
+	t.met.partial.Inc()
 	rb := t.cfg.rowBytes()
 	sectorBase := zaddr.Align(s.missAddr, zaddr.SectorBytes)
 	startRow := int(zaddr.BlockOffset(sectorBase)) / rb
@@ -300,7 +340,7 @@ func (t *Trackers) launchPartial(i int, now uint64) {
 func (t *Trackers) launchFull(i int, now uint64) {
 	s := &t.slots[i]
 	s.st = fullActive
-	t.stats.Full++
+	t.met.full.Inc()
 	t.schedule(i, t.fullRowOrder(s), now)
 }
 
@@ -309,8 +349,8 @@ func (t *Trackers) launchFull(i int, now uint64) {
 func (t *Trackers) upgrade(i int, now uint64) {
 	s := &t.slots[i]
 	s.st = fullActive
-	t.stats.Upgrades++
-	t.stats.Full++
+	t.met.upgrades.Inc()
+	t.met.full.Inc()
 	t.schedule(i, t.fullRowOrder(s), now)
 }
 
@@ -360,7 +400,7 @@ func (t *Trackers) schedule(i int, rows []int, now uint64) {
 			Line:  blockBase + zaddr.Addr(row*rb),
 			Ready: ready,
 		})
-		t.stats.RowsRead++
+		t.met.rowsRead.Inc()
 		if ready > s.lastReady {
 			s.lastReady = ready
 		}
@@ -398,5 +438,5 @@ func (t *Trackers) Reset() {
 	}
 	t.queue = t.queue[:0]
 	t.portFree = 0
-	t.stats = Stats{}
+	t.met = metrics{}
 }
