@@ -147,7 +147,11 @@ func BenchmarkFig2CPIImprovement(b *testing.B) {
 func BenchmarkFig3HardwareMode(b *testing.B) {
 	var rows []sim.HardwareResult
 	for i := 0; i < b.N; i++ {
-		rows = sim.Figure3(benchInsts/2, benchParams())
+		var err error
+		rows, err = sim.Figure3(benchInsts/2, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.SimGain, fmt.Sprintf("sim-gain-pct-%dcore", r.Cores))
@@ -187,7 +191,11 @@ func BenchmarkFig5BTB2Size(b *testing.B) {
 		b.Run(fmt.Sprintf("rows-%d", rows), func(b *testing.B) {
 			var pts []sim.SweepPoint
 			for i := 0; i < b.N; i++ {
-				pts = sim.SweepBTB2Size(benchSweepProfiles(), benchParams(), []int{rows})
+				var err error
+				pts, err = sim.SweepBTB2Size(benchSweepProfiles(), benchParams(), []int{rows})
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(pts[0].Improvement, "improvement-pct")
 		})
@@ -201,7 +209,11 @@ func BenchmarkFig6MissDefinition(b *testing.B) {
 		b.Run(fmt.Sprintf("searches-%d", lim), func(b *testing.B) {
 			var pts []sim.SweepPoint
 			for i := 0; i < b.N; i++ {
-				pts = sim.SweepMissDefinition(benchSweepProfiles(), benchParams(), []int{lim})
+				var err error
+				pts, err = sim.SweepMissDefinition(benchSweepProfiles(), benchParams(), []int{lim})
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(pts[0].Improvement, "improvement-pct")
 		})
@@ -215,7 +227,11 @@ func BenchmarkFig7Trackers(b *testing.B) {
 		b.Run(fmt.Sprintf("trackers-%d", n), func(b *testing.B) {
 			var pts []sim.SweepPoint
 			for i := 0; i < b.N; i++ {
-				pts = sim.SweepTrackers(benchSweepProfiles(), benchParams(), []int{n})
+				var err error
+				pts, err = sim.SweepTrackers(benchSweepProfiles(), benchParams(), []int{n})
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(pts[0].Improvement, "improvement-pct")
 		})
@@ -283,7 +299,11 @@ func BenchmarkRowCoverage(b *testing.B) {
 		b.Run(fmt.Sprintf("%dB", w), func(b *testing.B) {
 			var pts []sim.SweepPoint
 			for i := 0; i < b.N; i++ {
-				pts = sim.SweepRowCoverage(benchSweepProfiles(), benchParams(), []int{w})
+				var err error
+				pts, err = sim.SweepRowCoverage(benchSweepProfiles(), benchParams(), []int{w})
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(pts[0].Improvement, "improvement-pct")
 		})
@@ -293,7 +313,11 @@ func BenchmarkRowCoverage(b *testing.B) {
 func BenchmarkMissMode(b *testing.B) {
 	var pts []sim.SweepPoint
 	for i := 0; i < b.N; i++ {
-		pts = sim.SweepMissMode(benchSweepProfiles(), benchParams())
+		var err error
+		pts, err = sim.SweepMissMode(benchSweepProfiles(), benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, p := range pts {
 		b.ReportMetric(p.Improvement, p.Label+"-pct")
@@ -303,7 +327,11 @@ func BenchmarkMissMode(b *testing.B) {
 func BenchmarkMultiBlockTransfer(b *testing.B) {
 	var pts []sim.SweepPoint
 	for i := 0; i < b.N; i++ {
-		pts = sim.MultiBlockStudy(benchSweepProfiles(), benchParams())
+		var err error
+		pts, err = sim.MultiBlockStudy(benchSweepProfiles(), benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(pts[0].Improvement, "single-block-pct")
 	b.ReportMetric(pts[1].Improvement, "multi-block-pct")

@@ -33,7 +33,11 @@ var (
 func claimsFigure2(t *testing.T) []sim.Comparison {
 	t.Helper()
 	claimsFig2Once.Do(func() {
-		claimsFig2 = sim.Figure2(claimInsts, benchParams())
+		var err error
+		claimsFig2, err = sim.Figure2(claimInsts, benchParams())
+		if err != nil {
+			t.Fatal(err)
+		}
 	})
 	return claimsFig2
 }
@@ -140,7 +144,11 @@ func TestClaimHardwareGainSmaller(t *testing.T) {
 	if testing.Short() {
 		t.Skip("claims suite in -short mode")
 	}
-	for _, r := range sim.Figure3(claimInsts/2, benchParams()) {
+	rows, err := sim.Figure3(claimInsts/2, benchParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
 		if r.SimGain <= 0 {
 			t.Errorf("%s: no simulated gain", r.Name)
 		}
@@ -168,7 +176,10 @@ func TestClaimThreeTrackersSuffice(t *testing.T) {
 		t.Skip("claims suite in -short mode")
 	}
 	profiles := benchSweepProfiles()
-	pts := sim.SweepTrackers(profiles, benchParams(), []int{1, 3, 8})
+	pts, err := sim.SweepTrackers(profiles, benchParams(), []int{1, 3, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pts[1].Improvement <= pts[0].Improvement-0.3 {
 		t.Errorf("3 trackers (%.2f%%) not better than 1 (%.2f%%)",
 			pts[1].Improvement, pts[0].Improvement)
@@ -185,7 +196,10 @@ func TestClaimBTB2SizeMonotone(t *testing.T) {
 	if testing.Short() {
 		t.Skip("claims suite in -short mode")
 	}
-	pts := sim.SweepBTB2Size(benchSweepProfiles(), benchParams(), []int{512, 2048, 4096})
+	pts, err := sim.SweepBTB2Size(benchSweepProfiles(), benchParams(), []int{512, 2048, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 1; i < len(pts); i++ {
 		if pts[i].Improvement < pts[i-1].Improvement-0.4 {
 			t.Errorf("size sweep not monotone: %s %.2f%% after %s %.2f%%",

@@ -59,6 +59,7 @@ func main() {
 		{"locality", locality},
 		{"btbpsize", btbpSize},
 		{"installdelay", installDelay},
+		{"faults", faults},
 	}
 	if *list {
 		for _, e := range all {
@@ -81,6 +82,16 @@ func main() {
 		e.run(*insts)
 		fmt.Printf("  [%s took %.1fs]\n\n", e.name, time.Since(start).Seconds())
 	}
+}
+
+// must unwraps a (value, error) study result; any shard failure aborts
+// the experiment run with the joined error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	return v
 }
 
 // table1 demonstrates the Table 1 search-pipeline throughput cases via
@@ -191,12 +202,12 @@ func table5(int) {
 }
 
 func fig2(insts int) {
-	cs := sim.Figure2(insts, engine.DefaultParams())
+	cs := must(sim.Figure2(insts, engine.DefaultParams()))
 	report.Figure2(os.Stdout, cs)
 }
 
 func fig3(insts int) {
-	rows := sim.Figure3(insts, engine.DefaultParams())
+	rows := must(sim.Figure3(insts, engine.DefaultParams()))
 	report.Figure3(os.Stdout, rows)
 }
 
@@ -220,44 +231,44 @@ func sweepProfiles(insts int) []workload.Profile {
 }
 
 func fig5(insts int) {
-	pts := sim.SweepBTB2Size(sweepProfiles(insts), engine.DefaultParams(),
-		[]int{512, 1024, 2048, 4096, 8192})
+	pts := must(sim.SweepBTB2Size(sweepProfiles(insts), engine.DefaultParams(),
+		[]int{512, 1024, 2048, 4096, 8192}))
 	report.Sweep(os.Stdout, "Figure 5. Various BTB2 sizes (avg CPI improvement vs config 1)", pts)
 }
 
 func fig6(insts int) {
-	pts := sim.SweepMissDefinition(sweepProfiles(insts), engine.DefaultParams(),
-		[]int{1, 2, 3, 4, 6, 8})
+	pts := must(sim.SweepMissDefinition(sweepProfiles(insts), engine.DefaultParams(),
+		[]int{1, 2, 3, 4, 6, 8}))
 	report.Sweep(os.Stdout, "Figure 6. Various definitions of BTB1 miss (searches before reporting)", pts)
 }
 
 func fig7(insts int) {
-	pts := sim.SweepTrackers(sweepProfiles(insts), engine.DefaultParams(),
-		[]int{1, 2, 3, 4, 6, 8})
+	pts := must(sim.SweepTrackers(sweepProfiles(insts), engine.DefaultParams(),
+		[]int{1, 2, 3, 4, 6, 8}))
 	report.Sweep(os.Stdout, "Figure 7. Various numbers of BTB2 trackers", pts)
 }
 
 func ablations(insts int) {
-	abs := sim.Ablations(sweepProfiles(insts), engine.DefaultParams())
+	abs := must(sim.Ablations(sweepProfiles(insts), engine.DefaultParams()))
 	report.Ablations(os.Stdout, abs)
 }
 
 // --- Section 6 future-work studies ---
 
 func rowcov(insts int) {
-	pts := sim.SweepRowCoverage(sweepProfiles(insts), engine.DefaultParams(), []int{32, 64, 128})
+	pts := must(sim.SweepRowCoverage(sweepProfiles(insts), engine.DefaultParams(), []int{32, 64, 128}))
 	report.Sweep(os.Stdout,
 		"Future work (sec. 6): BTB2 congruence-class coverage (constant 24k capacity)", pts)
 }
 
 func missmode(insts int) {
-	pts := sim.SweepMissMode(sweepProfiles(insts), engine.DefaultParams())
+	pts := must(sim.SweepMissMode(sweepProfiles(insts), engine.DefaultParams()))
 	report.Sweep(os.Stdout,
 		"Future work (sec. 6): BTB1 miss definition - early speculative vs decode-time precise", pts)
 }
 
 func multiblock(insts int) {
-	pts := sim.MultiBlockStudy(sweepProfiles(insts), engine.DefaultParams())
+	pts := must(sim.MultiBlockStudy(sweepProfiles(insts), engine.DefaultParams()))
 	report.Sweep(os.Stdout,
 		"Future work (sec. 6): bounded multi-block transfers", pts)
 }
@@ -301,14 +312,27 @@ func sharing(insts int) {
 
 // btbpSize sweeps the preload table's capacity.
 func btbpSize(insts int) {
-	pts := sim.SweepBTBPSize(sweepProfiles(insts), engine.DefaultParams(), []int{1, 2, 4, 6, 8})
+	pts := must(sim.SweepBTBPSize(sweepProfiles(insts), engine.DefaultParams(), []int{1, 2, 4, 6, 8}))
 	report.Sweep(os.Stdout, "Design knob: BTBP capacity (avg CPI improvement vs config 1)", pts)
 }
 
 // installDelay sweeps the surprise-install write latency.
 func installDelay(insts int) {
-	pts := sim.SweepInstallDelay(sweepProfiles(insts), engine.DefaultParams(), []uint64{6, 12, 24, 48, 96})
+	pts := must(sim.SweepInstallDelay(sweepProfiles(insts), engine.DefaultParams(), []uint64{6, 12, 24, 48, 96}))
 	report.Sweep(os.Stdout, "Design knob: surprise-install write latency", pts)
+}
+
+// faults runs the soft-error degradation study: accuracy and CPI under
+// rising fault rates, unprotected vs parity-protected arrays.
+func faults(insts int) {
+	prof, err := workload.ByName("zos-daytrader-dbserv", insts)
+	if err != nil {
+		panic(err)
+	}
+	pts := must(sim.FaultStudy(prof, engine.DefaultParams(),
+		[]float64{0.1, 1, 10, 100, 1000}))
+	report.FaultTable(os.Stdout,
+		"Soft-error degradation on zos-daytrader-dbserv (config 2)", pts)
 }
 
 // locality prints each trace's branch re-reference profile: the

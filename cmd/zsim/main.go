@@ -10,6 +10,10 @@
 //	zsim -config btb2 -jsonl events.jsonl             # streaming trace
 //	zsim -config btb2 -chrome trace.json              # Perfetto trace
 //	zsim -config btb2 -metrics-addr localhost:9090    # live /metrics
+//	zsim -config btb2 -fault-rate 10 -fault-protect parity   # soft errors
+//	zsim -config btb2 -checkpoint run.ckpt -checkpoint-every 500000
+//	zsim -config btb2 -resume run.ckpt                # continue after a crash
+//	zsim -file damaged.zbpt -salvage                  # use the valid prefix
 //	zsim -list
 package main
 
@@ -17,12 +21,13 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"bulkpreload/internal/core"
 	"bulkpreload/internal/engine"
+	"bulkpreload/internal/fault"
 	"bulkpreload/internal/obs"
 	"bulkpreload/internal/obs/export"
 	"bulkpreload/internal/report"
@@ -48,6 +53,15 @@ func main() {
 		compare   = flag.Bool("compare", false, "run all three Table 3 configurations and print the comparison")
 		specFile  = flag.String("spec", "", "run a JSON experiment spec (overrides other flags)")
 		list      = flag.Bool("list", false, "list Table 4 workload names and exit")
+
+		faultRate    = flag.Float64("fault-rate", 0, "inject soft errors at this base rate (faults per million entry reads; 0 = off)")
+		faultProtect = flag.String("fault-protect", "unprotected", "array protection model: unprotected, parity")
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the deterministic fault-arrival streams")
+
+		ckptPath  = flag.String("checkpoint", "", "persist periodic checkpoints to this file (atomic replace)")
+		ckptEvery = flag.Int64("checkpoint-every", 1_000_000, "instructions between checkpoints (with -checkpoint)")
+		resume    = flag.String("resume", "", "resume the simulation from this checkpoint file")
+		salvage   = flag.Bool("salvage", false, "with -file: tolerate a truncated/corrupt trace tail, simulating the valid prefix")
 	)
 	flag.Parse()
 
@@ -85,7 +99,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	src, err := loadSource(*file, *traceName, *insts)
+	src, err := loadSource(*file, *traceName, *insts, *salvage)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zsim:", err)
 		os.Exit(1)
@@ -110,6 +124,36 @@ func main() {
 		params = engine.HardwareParams()
 	}
 	params.WarmupInstructions = *warmup
+
+	// Soft-error injection.
+	if *faultRate > 0 {
+		var prot fault.Protection
+		switch *faultProtect {
+		case "unprotected":
+			prot = fault.Unprotected
+		case "parity":
+			prot = fault.Parity
+		default:
+			fmt.Fprintf(os.Stderr, "zsim: unknown -fault-protect %q (want unprotected, parity)\n", *faultProtect)
+			os.Exit(2)
+		}
+		params.Fault = fault.ZEC12Rates(*faultSeed, *faultRate, prot)
+	}
+
+	// Periodic checkpoints, atomically replaced so a crash mid-write
+	// keeps the previous good one.
+	if *ckptPath != "" {
+		if *ckptEvery <= 0 {
+			fmt.Fprintln(os.Stderr, "zsim: -checkpoint-every must be positive")
+			os.Exit(2)
+		}
+		params.CheckpointInterval = *ckptEvery
+		params.CheckpointSink = func(ck *engine.Checkpoint) {
+			if err := engine.WriteCheckpointFile(*ckptPath, ck); err != nil {
+				fmt.Fprintln(os.Stderr, "zsim: checkpoint:", err)
+			}
+		}
+	}
 
 	// Compose the event tracer pipeline: an in-memory buffer for -events
 	// and -timeline, plus streaming exporters, all fed through one tee.
@@ -159,7 +203,10 @@ func main() {
 	// by the HTTP handlers — the simulation goroutine never shares its
 	// metrics directly.
 	params.SnapshotInterval = *interval
-	var live *obs.Live
+	var (
+		live   *obs.Live
+		server *obs.Server
+	)
 	if *metrics != "" {
 		live = &obs.Live{}
 		expvar.Publish("zsim", live.Var())
@@ -167,18 +214,46 @@ func main() {
 			params.SnapshotInterval = 100_000
 		}
 		params.SnapshotSink = live.Publish
-		go func() {
-			if err := http.ListenAndServe(*metrics, live.Handler()); err != nil {
-				fmt.Fprintln(os.Stderr, "zsim: metrics server:", err)
-			}
-		}()
-		fmt.Printf("serving live metrics on http://%s/metrics\n", *metrics)
+		server = obs.NewServer(live)
+		addr, err := server.Start(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving live metrics on http://%s/metrics\n", addr)
 	}
 
-	r := engine.Run(src, cfgs[*config], params, *config)
+	var r engine.Result
+	eng := engine.New(cfgs[*config], params)
+	if *resume != "" {
+		ck, err := engine.ReadCheckpointFile(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resuming %s from %d instructions\n", ck.Trace, ck.Instructions)
+		r, err = eng.Resume(src, ck)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		r = eng.Run(src, *config)
+	}
 	report.Result(os.Stdout, r)
+	if r.Fault.Injected > 0 || r.Fault.Detected > 0 {
+		fmt.Printf("  faults             injected %d, detected %d, recovered %d, silent %d\n",
+			r.Fault.Injected, r.Fault.Detected, r.Fault.Recovered, r.Fault.Silent)
+	}
 	if live != nil && r.Metrics != nil {
 		live.Publish(*r.Metrics)
+	}
+	if server != nil {
+		// The simulation is done: let in-flight scrapes finish, then
+		// release the listener.
+		if err := server.Shutdown(5 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim: metrics server shutdown:", err)
+		}
 	}
 	if *interval > 0 {
 		fmt.Println()
@@ -229,8 +304,18 @@ func reconcile(what string, counts [core.NumEventKinds]int64, final *obs.Snapsho
 	}
 }
 
-func loadSource(file, traceName string, insts int) (trace.Source, error) {
+func loadSource(file, traceName string, insts int, salvage bool) (trace.Source, error) {
 	if file != "" {
+		if salvage {
+			src, diag, err := trace.ReadFileTolerant(file)
+			if err != nil {
+				return nil, err
+			}
+			if diag != nil {
+				fmt.Fprintln(os.Stderr, "zsim: salvage:", diag)
+			}
+			return src, nil
+		}
 		return trace.ReadFile(file)
 	}
 	p, err := workload.ByName(traceName, insts)

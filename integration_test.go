@@ -132,12 +132,18 @@ func TestSweepShapesHold(t *testing.T) {
 	params := engine.DefaultParams()
 	params.WarmupInstructions = 20_000
 
-	size := sim.SweepBTB2Size(profiles, params, []int{512, 4096})
+	size, err := sim.SweepBTB2Size(profiles, params, []int{512, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if size[1].Improvement < size[0].Improvement-0.5 {
 		t.Errorf("Figure 5 shape broken: 24k %.2f%% vs 3k %.2f%%",
 			size[1].Improvement, size[0].Improvement)
 	}
-	trk := sim.SweepTrackers(profiles, params, []int{1, 3})
+	trk, err := sim.SweepTrackers(profiles, params, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if trk[1].Improvement < trk[0].Improvement-0.5 {
 		t.Errorf("Figure 7 shape broken: 3 trackers %.2f%% vs 1 tracker %.2f%%",
 			trk[1].Improvement, trk[0].Improvement)
@@ -150,7 +156,10 @@ func TestHardwareModeShrinksGain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("hardware mode in -short mode")
 	}
-	rows := sim.Figure3(120_000, engine.DefaultParams())
+	rows, err := sim.Figure3(120_000, engine.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}

@@ -6,6 +6,9 @@
 package bht
 
 import (
+	"fmt"
+
+	"bulkpreload/internal/fault"
 	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
 )
@@ -78,8 +81,15 @@ type SurpriseBHT struct {
 	bits    []bool
 	touched []bool
 	mask    uint64
+	inj     *fault.Injector // soft-error injection on Guess; nil = off
 	met     surpriseMetrics
 }
+
+// SetInjector attaches (or, with nil, detaches) a fault injector.
+func (s *SurpriseBHT) SetInjector(j *fault.Injector) { s.inj = j }
+
+// Injector returns the attached injector (nil when faults are off).
+func (s *SurpriseBHT) Injector() *fault.Injector { return s.inj }
 
 // surpriseMetrics is the surprise BHT's registry-backed counter set.
 type surpriseMetrics struct {
@@ -124,11 +134,33 @@ func (s *SurpriseBHT) Taken(a zaddr.Addr) bool { return s.bits[s.index(a)] }
 func (s *SurpriseBHT) Guess(a zaddr.Addr, staticTaken bool) bool {
 	s.met.guesses.Inc()
 	i := s.index(a)
+	if s.inj != nil && s.touched[i] {
+		s.faultCheck(i)
+	}
 	if s.touched[i] {
 		s.met.trainedGuesses.Inc()
 		return s.bits[i]
 	}
 	return staticTaken
+}
+
+// faultCheck strikes trained slot i, if this read is the one the
+// injector's schedule lands on. The only stored payload is the one
+// direction bit, so an unprotected fault flips it; parity recovery
+// clears the slot back to untrained (the static guess takes over until
+// the branch retrains it).
+func (s *SurpriseBHT) faultCheck(i uint64) {
+	if _, ok := s.inj.Strike(); !ok {
+		return
+	}
+	if s.inj.Parity() {
+		s.bits[i] = false
+		s.touched[i] = false
+		s.inj.NoteRecovered()
+		return
+	}
+	s.bits[i] = !s.bits[i]
+	s.inj.NoteSilent()
 }
 
 // Update records a resolved direction for the branch at a.
@@ -180,4 +212,30 @@ func (s *SurpriseBHT) Reset() {
 		s.touched[i] = false
 	}
 	s.met = surpriseMetrics{}
+}
+
+// State is a serializable copy of the surprise BHT's architectural
+// contents.
+type State struct {
+	Bits    []bool
+	Touched []bool
+}
+
+// State returns a deep copy of the table's architectural state.
+func (s *SurpriseBHT) State() State {
+	return State{
+		Bits:    append([]bool(nil), s.bits...),
+		Touched: append([]bool(nil), s.touched...),
+	}
+}
+
+// RestoreState overwrites the table's contents with st, which must come
+// from a table of identical size.
+func (s *SurpriseBHT) RestoreState(st State) error {
+	if len(st.Bits) != len(s.bits) || len(st.Touched) != len(s.touched) {
+		return fmt.Errorf("bht: state has %d/%d slots, table has %d", len(st.Bits), len(st.Touched), len(s.bits))
+	}
+	copy(s.bits, st.Bits)
+	copy(s.touched, st.Touched)
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"bulkpreload/internal/bht"
+	"bulkpreload/internal/fault"
 	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
 )
@@ -132,7 +133,10 @@ type Table struct {
 	// order holds per-row recency order: order[row*ways+k] is the way
 	// index at recency rank k (rank 0 = MRU, rank ways-1 = LRU).
 	order []uint8
-	met   metrics
+	// inj, when non-nil, strikes soft errors on valid-entry reads; nil
+	// (the default) is the zero-cost disabled state. See fault.go.
+	inj *fault.Injector
+	met metrics
 }
 
 // New builds an empty table; it panics if cfg is invalid (geometry is a
@@ -236,7 +240,16 @@ func (t *Table) LookupLine(line zaddr.Addr, out []Hit) []Hit {
 	found := false
 	for w := 0; w < t.cfg.Ways; w++ {
 		e := &t.slots[base+w]
-		if e.Valid && t.lineMatch(e.Addr, line) {
+		if !e.Valid {
+			continue
+		}
+		if t.inj != nil {
+			t.faultCheck(row, w)
+			if !e.Valid {
+				continue // parity recovery (or tag upset) dropped it
+			}
+		}
+		if t.lineMatch(e.Addr, line) {
 			out = append(out, Hit{Way: w, MRU: w == mruWay, Entry: *e})
 			found = true
 		}
@@ -256,9 +269,13 @@ func (t *Table) Find(a zaddr.Addr) (Entry, bool) {
 }
 
 func (t *Table) find(a zaddr.Addr) *Entry {
-	base := t.RowFor(a) * t.cfg.Ways
+	row := t.RowFor(a)
+	base := row * t.cfg.Ways
 	for w := 0; w < t.cfg.Ways; w++ {
 		e := &t.slots[base+w]
+		if t.inj != nil && e.Valid {
+			t.faultCheck(row, w)
+		}
 		if t.entryMatch(e, a) {
 			return e
 		}

@@ -1,0 +1,70 @@
+package btb
+
+import "bulkpreload/internal/fault"
+
+// SetInjector attaches (or, with nil, detaches) a fault injector. With an
+// injector attached, every read of a valid entry on the lookup paths
+// (LookupLine, find) may be struck by a soft error per the injector's
+// arrival schedule.
+func (t *Table) SetInjector(j *fault.Injector) { t.inj = j }
+
+// Injector returns the attached injector (nil when faults are off).
+func (t *Table) Injector() *fault.Injector { return t.inj }
+
+// Bit positions of the corruptible entry payload. The branch address
+// (index + tag) is deliberately outside the flip domain: hardware stores
+// it as a tag whose upset makes the entry mismatch every probe — the
+// same observable outcome as losing the entry — so tag upsets are
+// modeled as the validBit case rather than as an Addr rewrite, which
+// could fabricate aliases that no hardware fault can produce (two tags
+// cannot collide inside one row) and would break the hierarchy's
+// structural invariants.
+const (
+	targetBits   = 64                // Entry.Target, bits 0..63
+	dirBit0      = targetBits        // Entry.Dir, 2-bit bimodal counter
+	usePHTBit    = dirBit0 + 2       // Entry.UsePHT
+	useCTBBit    = usePHTBit + 1     // Entry.UseCTB
+	lengthBit0   = useCTBBit + 1     // Entry.Length, 3 bits
+	validBit     = lengthBit0 + 3    // tag/valid upset: entry is lost
+	payloadWidth = validBit + 1      // 72
+)
+
+// faultCheck strikes way w of row with the injector's next scheduled
+// fault, if the current read is the one it lands on. Parity protection
+// detects the upset and recovers by invalidation (the way becomes LRU,
+// and semi-exclusivity lets first-level entries refetch from BTB2);
+// unprotected arrays keep serving the flipped entry.
+func (t *Table) faultCheck(row, w int) {
+	bits, ok := t.inj.Strike()
+	if !ok {
+		return
+	}
+	e := &t.slots[row*t.cfg.Ways+w]
+	if t.inj.Parity() {
+		*e = Entry{}
+		t.demoteWay(row, w)
+		t.inj.NoteRecovered()
+		return
+	}
+	corruptEntry(e, bits)
+	t.inj.NoteSilent()
+}
+
+// corruptEntry flips one uniformly chosen payload bit of e.
+func corruptEntry(e *Entry, bits uint64) {
+	b := bits % payloadWidth
+	switch {
+	case b < dirBit0:
+		e.Target ^= 1 << b
+	case b < usePHTBit:
+		e.Dir ^= 1 << (b - dirBit0) // stays within the 2-bit counter range
+	case b == usePHTBit:
+		e.UsePHT = !e.UsePHT
+	case b == useCTBBit:
+		e.UseCTB = !e.UseCTB
+	case b < validBit:
+		e.Length ^= 1 << (b - lengthBit0)
+	default:
+		e.Valid = false
+	}
+}

@@ -1,0 +1,56 @@
+package btb
+
+import "fmt"
+
+// State is a serializable copy of a table's architectural contents:
+// every slot plus the per-row recency order. Activity counters and the
+// fault injector schedule are not part of it — a restored table resumes
+// with fresh counters, the way a checkpoint-resumed run should.
+type State struct {
+	Slots []Entry
+	Order []uint8
+}
+
+// State returns a deep copy of the table's architectural state.
+func (t *Table) State() State {
+	return State{
+		Slots: append([]Entry(nil), t.slots...),
+		Order: append([]uint8(nil), t.order...),
+	}
+}
+
+// RestoreState overwrites the table's contents with s, which must come
+// from a table of identical geometry.
+func (t *Table) RestoreState(s State) error {
+	if len(s.Slots) != len(t.slots) || len(s.Order) != len(t.order) {
+		return fmt.Errorf("btb %s: state geometry mismatch: %d slots/%d order, table has %d/%d",
+			t.cfg.Name, len(s.Slots), len(s.Order), len(t.slots), len(t.order))
+	}
+	copy(t.slots, s.Slots)
+	copy(t.order, s.Order)
+	if err := t.checkLRUInvariant(); err != nil {
+		return fmt.Errorf("btb %s: restored state is corrupt: %w", t.cfg.Name, err)
+	}
+	if err := t.CheckPlacement(); err != nil {
+		return fmt.Errorf("btb %s: restored state is corrupt: %w", t.cfg.Name, err)
+	}
+	return nil
+}
+
+// CheckPlacement verifies that every valid entry is stored in the row
+// its address indexes to — the structural invariant a hardware array
+// cannot violate (the index selects the row) and that fault injection
+// must therefore never break.
+func (t *Table) CheckPlacement() error {
+	for row := 0; row < t.cfg.Rows; row++ {
+		base := row * t.cfg.Ways
+		for w := 0; w < t.cfg.Ways; w++ {
+			e := &t.slots[base+w]
+			if e.Valid && t.RowFor(e.Addr) != row {
+				return fmt.Errorf("btb %s: entry %#x stored in row %d but indexes row %d",
+					t.cfg.Name, uint64(e.Addr), row, t.RowFor(e.Addr))
+			}
+		}
+	}
+	return nil
+}

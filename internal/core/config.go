@@ -23,6 +23,7 @@ import (
 	"bulkpreload/internal/bht"
 	"bulkpreload/internal/btb"
 	"bulkpreload/internal/ctb"
+	"bulkpreload/internal/fault"
 	"bulkpreload/internal/fit"
 	"bulkpreload/internal/pht"
 	"bulkpreload/internal/predictor"
@@ -148,6 +149,11 @@ type Config struct {
 	// Ablation knob; the BTBP still exists but only receives victims.
 	BypassBTBP bool
 
+	// Fault configures soft-error injection into the predictor arrays
+	// (see internal/fault). The zero value disables it; disabled
+	// injection costs one nil pointer check per array read.
+	Fault fault.Config
+
 	// MultiBlockTransfer enables the Section 6 future-work extension:
 	// when a bulk transfer surfaces branches whose targets leave the
 	// block, the most-referenced target block is chased with one
@@ -237,6 +243,9 @@ func (c Config) Validate() error {
 	}
 	if c.MissMode > MissBoth {
 		return fmt.Errorf("core: unknown miss mode %d", c.MissMode)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bulkpreload/internal/fault"
+	"bulkpreload/internal/zaddr"
+)
+
+// faultConfig returns the small test hierarchy with aggressive injection
+// rates so a short run sees many strikes.
+func faultConfig(p fault.Protection) Config {
+	c := testConfig()
+	c.Fault = fault.ZEC12Rates(1234, 20_000, p) // 2% of reads
+	return c
+}
+
+// driveFaulted exercises the hierarchy under a randomized branch
+// workload: installs, predictions, and resolutions over a footprint
+// large enough to keep every structure busy.
+func driveFaulted(t *testing.T, h *Hierarchy, steps int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(99))
+	now := uint64(0)
+	addrs := make([]zaddr.Addr, 200)
+	for i := range addrs {
+		addrs[i] = zaddr.Addr(0x1000 + 64*uint64(i))
+	}
+	for s := 0; s < steps; s++ {
+		now += uint64(1 + r.Intn(8))
+		a := addrs[r.Intn(len(addrs))]
+		in := takenBranch(a, a+0x4000)
+		if r.Intn(4) == 0 {
+			in.Taken = false
+		}
+		if p, ok := h.Predict(a, now); ok {
+			h.Resolve(in, &p, now)
+		} else {
+			h.Resolve(in, nil, now)
+		}
+		if s%50 == 0 {
+			h.Advance(now + h.cfg.SurpriseInstallDelay)
+		}
+	}
+}
+
+// TestUnprotectedFaultsPreserveInvariants is the key structural claim of
+// the fault model: silent corruption changes predictions, never the
+// hierarchy's residency/placement invariants, because injected flips are
+// confined to the entry payload (target, direction, length, valid bit)
+// and never touch the indexed address.
+func TestUnprotectedFaultsPreserveInvariants(t *testing.T) {
+	h := New(faultConfig(fault.Unprotected))
+	for round := 0; round < 20; round++ {
+		driveFaulted(t, h, 500)
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: invariants violated under silent corruption: %v", round, err)
+		}
+	}
+	s := h.FaultStats()
+	if s.Injected == 0 {
+		t.Fatal("workload drew no fault strikes; rates too low for the test to mean anything")
+	}
+	if s.Detected != 0 || s.Recovered != 0 {
+		t.Errorf("unprotected run detected/recovered faults: %+v", s)
+	}
+	if s.Silent != s.Injected {
+		t.Errorf("silent %d != injected %d in unprotected mode", s.Silent, s.Injected)
+	}
+}
+
+// TestParityRecoveryRestoresCleanState checks the acceptance criterion
+// "recoveries == detections" and that recovery-by-invalidation leaves a
+// hierarchy that still satisfies every structural invariant.
+func TestParityRecoveryRestoresCleanState(t *testing.T) {
+	h := New(faultConfig(fault.Parity))
+	for round := 0; round < 20; round++ {
+		driveFaulted(t, h, 500)
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: invariants violated after parity recovery: %v", round, err)
+		}
+	}
+	s := h.FaultStats()
+	if s.Injected == 0 {
+		t.Fatal("workload drew no fault strikes")
+	}
+	if s.Recovered != s.Detected {
+		t.Errorf("recovered %d != detected %d", s.Recovered, s.Detected)
+	}
+	if s.Detected != s.Injected {
+		t.Errorf("parity left %d of %d strikes undetected", s.Injected-s.Detected, s.Injected)
+	}
+	if s.Silent != 0 {
+		t.Errorf("parity run recorded %d silent corruptions", s.Silent)
+	}
+	// Per-injector too, not just in aggregate.
+	for _, j := range h.FaultInjectors() {
+		js := j.Stats()
+		if js.Recovered != js.Detected {
+			t.Errorf("%s: recovered %d != detected %d", j.Name(), js.Recovered, js.Detected)
+		}
+	}
+}
+
+// TestFaultSitesDeterministic: same seed, same workload -> bit-for-bit
+// identical strike sites, the reproducibility the degradation study
+// depends on.
+func TestFaultSitesDeterministic(t *testing.T) {
+	run := func() map[string][]fault.Site {
+		c := faultConfig(fault.Unprotected)
+		c.Fault.RecordSites = true
+		h := New(c)
+		driveFaulted(t, h, 3000)
+		return h.FaultSites()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no injectors attached")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical runs recorded different fault sites")
+	}
+	var total int
+	for _, sites := range a {
+		total += len(sites)
+	}
+	if total == 0 {
+		t.Fatal("no strike sites recorded")
+	}
+}
+
+// TestHierarchyResetReplaysFaults: Reset must rearm the injectors so a
+// replayed workload sees the identical fault stream.
+func TestHierarchyResetReplaysFaults(t *testing.T) {
+	c := faultConfig(fault.Unprotected)
+	c.Fault.RecordSites = true
+	h := New(c)
+	driveFaulted(t, h, 2000)
+	first := map[string][]fault.Site{}
+	for name, sites := range h.FaultSites() {
+		first[name] = append([]fault.Site(nil), sites...)
+	}
+	h.Reset()
+	if s := h.FaultStats(); s != (fault.Stats{}) {
+		t.Fatalf("Reset left fault counters: %+v", s)
+	}
+	driveFaulted(t, h, 2000)
+	if !reflect.DeepEqual(first, h.FaultSites()) {
+		t.Error("post-Reset replay struck different sites")
+	}
+}
+
+// TestFaultedPredictPathNoAllocs extends the PR 1 allocation pins to the
+// fault hooks: with RecordSites off, Strike/parity-recovery must not
+// allocate even while faults are landing on the hot path.
+func TestFaultedPredictPathNoAllocs(t *testing.T) {
+	h := New(faultConfig(fault.Parity)) // 2% of reads struck; RecordSites off
+	a, tgt := zaddr.Addr(0x4000), zaddr.Addr(0x5000)
+	in := takenBranch(a, tgt)
+	installBranch(h, in, 0)
+	now := uint64(100)
+	step := func() {
+		if p, ok := h.Predict(a, now); ok {
+			h.Resolve(in, &p, now)
+		} else {
+			// A parity recovery invalidated the entry: re-train it through
+			// the surprise path, exactly as a real run would.
+			h.Resolve(in, nil, now)
+			h.Advance(now + h.cfg.SurpriseInstallDelay)
+		}
+		now += 10
+	}
+	for i := 0; i < 64; i++ { // warm scratch buffers, with strikes landing
+		step()
+	}
+	allocs := testing.AllocsPerRun(2000, step)
+	if allocs != 0 {
+		t.Errorf("faulted predict path allocates %.1f objects/op, want 0", allocs)
+	}
+	if h.FaultStats().Injected == 0 {
+		t.Fatal("no strikes landed; the pin did not exercise the fault hooks")
+	}
+}
+
+// TestNoFaultConfigAttachesNothing pins the disabled path: a zero fault
+// config must leave every structure with a nil injector.
+func TestNoFaultConfigAttachesNothing(t *testing.T) {
+	h := New(testConfig())
+	if js := h.FaultInjectors(); len(js) != 0 {
+		t.Fatalf("disabled config attached %d injectors", len(js))
+	}
+	if s := h.FaultStats(); s != (fault.Stats{}) {
+		t.Errorf("disabled config has fault stats: %+v", s)
+	}
+}

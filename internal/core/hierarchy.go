@@ -161,6 +161,7 @@ func New(cfg Config) *Hierarchy {
 		}
 		h.trk = tracker.New(tcfg, ord)
 	}
+	h.attachInjectors()
 	return h
 }
 
@@ -658,6 +659,9 @@ func (h *Hierarchy) Reset() {
 	}
 	if h.trk != nil {
 		h.trk.Reset()
+	}
+	for _, j := range h.FaultInjectors() {
+		j.Reset()
 	}
 	h.hist.Reset()
 	h.pendingSurprise = h.pendingSurprise[:0]

@@ -36,6 +36,17 @@ func (h *Hierarchy) CheckInvariants() error {
 			}
 		}
 	}
+	if err := h.btb1.CheckPlacement(); err != nil {
+		return err
+	}
+	if err := h.btbp.CheckPlacement(); err != nil {
+		return err
+	}
+	if h.btb2 != nil {
+		if err := h.btb2.CheckPlacement(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -106,6 +106,7 @@ func (h *Hierarchy) RegisterMetrics(r *obs.Registry) {
 	if h.trk != nil {
 		h.trk.RegisterMetrics(r, "tracker_")
 	}
+	h.registerFaultMetrics(r)
 }
 
 // EnableDetailMetrics turns on the derived latency histograms (promotion

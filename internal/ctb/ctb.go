@@ -6,6 +6,9 @@
 package ctb
 
 import (
+	"fmt"
+
+	"bulkpreload/internal/fault"
 	"bulkpreload/internal/history"
 	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
@@ -43,8 +46,15 @@ type metrics struct {
 // Table is the changing target buffer.
 type Table struct {
 	entries []entry
+	inj     *fault.Injector // soft-error injection on Lookup; nil = off
 	met     metrics
 }
+
+// SetInjector attaches (or, with nil, detaches) a fault injector.
+func (t *Table) SetInjector(j *fault.Injector) { t.inj = j }
+
+// Injector returns the attached injector (nil when faults are off).
+func (t *Table) Injector() *fault.Injector { return t.inj }
 
 // New builds a CTB with the given entry count (power of two).
 func New(entries int) *Table {
@@ -98,11 +108,37 @@ func tagOf(a zaddr.Addr) uint16 {
 func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (target zaddr.Addr, ok bool) {
 	t.met.lookups.Inc()
 	e := &t.entries[h.CTBIndex(addr, len(t.entries))]
+	if t.inj != nil && e.valid {
+		t.faultCheck(e)
+	}
 	if !e.valid || e.tag != tagOf(addr) {
 		return 0, false
 	}
 	t.met.hits.Inc()
 	return e.target, true
+}
+
+// faultCheck strikes the entry being read, if this read is the one the
+// injector's schedule lands on. The flip domain is the stored payload:
+// the 64-bit target and 10 tag bits. Parity recovers by invalidation;
+// unprotected flips persist (a flipped target silently misdirects every
+// multi-target branch that hits this entry).
+func (t *Table) faultCheck(e *entry) {
+	bits, ok := t.inj.Strike()
+	if !ok {
+		return
+	}
+	if t.inj.Parity() {
+		*e = entry{}
+		t.inj.NoteRecovered()
+		return
+	}
+	if b := bits % (64 + tagBits); b < 64 {
+		e.target ^= 1 << b
+	} else {
+		e.tag ^= 1 << (b - 64)
+	}
+	t.inj.NoteSilent()
 }
 
 // Update trains the entry for the branch at addr with a resolved target.
@@ -124,4 +160,35 @@ func (t *Table) Reset() {
 		t.entries[i] = entry{}
 	}
 	t.met = metrics{}
+}
+
+// EntryState is the serializable mirror of one CTB entry.
+type EntryState struct {
+	Valid  bool
+	Tag    uint16
+	Target zaddr.Addr
+}
+
+// State is a serializable copy of the table's architectural contents.
+type State struct{ Entries []EntryState }
+
+// State returns a deep copy of the table's architectural state.
+func (t *Table) State() State {
+	s := State{Entries: make([]EntryState, len(t.entries))}
+	for i, e := range t.entries {
+		s.Entries[i] = EntryState{Valid: e.valid, Tag: e.tag, Target: e.target}
+	}
+	return s
+}
+
+// RestoreState overwrites the table's contents with s, which must come
+// from a table of identical size.
+func (t *Table) RestoreState(s State) error {
+	if len(s.Entries) != len(t.entries) {
+		return fmt.Errorf("ctb: state has %d entries, table has %d", len(s.Entries), len(t.entries))
+	}
+	for i, e := range s.Entries {
+		t.entries[i] = entry{valid: e.Valid, tag: e.Tag, target: e.Target}
+	}
+	return nil
 }

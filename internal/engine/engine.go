@@ -6,6 +6,7 @@ import (
 	"bulkpreload/internal/btb"
 	"bulkpreload/internal/cache"
 	"bulkpreload/internal/core"
+	"bulkpreload/internal/fault"
 	"bulkpreload/internal/obs"
 	"bulkpreload/internal/predictor"
 	"bulkpreload/internal/stats"
@@ -38,6 +39,10 @@ type Result struct {
 	BTB2    btb.Stats
 
 	MissesReported int64 // BTB1 misses reported by the detector
+
+	// Fault aggregates the run's soft-error injection counters across
+	// every structure (all zero when injection is disabled).
+	Fault fault.Stats
 
 	// Metrics is the final registry snapshot of the run — every counter,
 	// gauge, and histogram of every structure, enumerable by name. Use
@@ -121,6 +126,9 @@ type Engine struct {
 	reg      *obs.Registry
 	snapSeq  int64
 	nextSnap int64
+	// nextCkpt is the instruction count that triggers the next interval
+	// checkpoint (0 = checkpointing off).
+	nextCkpt int64
 
 	// Warmup snapshot, subtracted from the result when the trace is long
 	// enough to cross the warmup boundary.
@@ -143,7 +151,11 @@ func New(hcfg core.Config, params Params) *Engine {
 }
 
 func (e *Engine) reset() {
-	e.hier = core.New(e.hcfg)
+	hcfg := e.hcfg
+	if e.params.Fault.Enabled() {
+		hcfg.Fault = e.params.Fault
+	}
+	e.hier = core.New(hcfg)
 	if e.params.EventTracer != nil {
 		e.hier.SetTracer(e.params.EventTracer)
 	}
@@ -175,6 +187,10 @@ func (e *Engine) reset() {
 	if e.params.SnapshotInterval > 0 {
 		e.nextSnap = e.params.SnapshotInterval
 		e.hier.EnableDetailMetrics()
+	}
+	e.nextCkpt = 0
+	if e.params.CheckpointInterval > 0 {
+		e.nextCkpt = e.params.CheckpointInterval
 	}
 	e.buildRegistry()
 }
@@ -285,6 +301,7 @@ func (e *Engine) finishResult() {
 	e.res.BTBP = e.hier.BTBPStats()
 	e.res.BTB2 = e.hier.BTB2Stats()
 	e.res.MissesReported = e.missDet.Reported()
+	e.res.Fault = e.hier.FaultStats()
 }
 
 // now returns the current cycle for component timing.
@@ -292,6 +309,13 @@ func (e *Engine) now() uint64 { return e.clock.ToCycles() }
 
 // step processes one committed instruction.
 func (e *Engine) step(in trace.Inst) {
+	// Checkpoint before touching this instruction: the captured state is
+	// "exactly Instructions records fully processed", so Resume can skip
+	// that many records and continue with this one.
+	if e.nextCkpt > 0 && e.res.Instructions >= e.nextCkpt {
+		e.params.CheckpointSink(e.Checkpoint())
+		e.nextCkpt += e.params.CheckpointInterval
+	}
 	if !e.warmTaken && e.params.WarmupInstructions > 0 &&
 		e.res.Instructions == e.params.WarmupInstructions {
 		e.warmTaken = true

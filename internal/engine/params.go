@@ -19,6 +19,7 @@ import (
 
 	"bulkpreload/internal/cache"
 	"bulkpreload/internal/core"
+	"bulkpreload/internal/fault"
 	"bulkpreload/internal/obs"
 	"bulkpreload/internal/predictor"
 )
@@ -101,6 +102,24 @@ type Params struct {
 	// snapshot as it is taken — e.g. obs.(*Live).Publish for live HTTP
 	// introspection of a running simulation.
 	SnapshotSink func(obs.Snapshot) `json:"-"`
+
+	// Fault configures soft-error injection into the predictor arrays
+	// for this run, overriding any fault configuration already in the
+	// hierarchy config (the hierarchy config stays the canonical place;
+	// this knob exists so studies can sweep fault rates without forking
+	// configs). The zero value leaves the hierarchy config untouched.
+	Fault fault.Config
+
+	// CheckpointInterval, when positive, makes the engine capture a
+	// checkpoint of the simulation state every CheckpointInterval
+	// committed instructions, feeding each to CheckpointSink. Long runs
+	// resume from the latest one after a crash (see Engine.Resume).
+	CheckpointInterval int64
+
+	// CheckpointSink receives each interval checkpoint. Required when
+	// CheckpointInterval is positive (a checkpoint nobody persists is
+	// pure overhead).
+	CheckpointSink func(*Checkpoint) `json:"-"`
 }
 
 // DefaultParams returns the simulation-mode parameter set used throughout
@@ -149,6 +168,15 @@ func (p Params) Validate() error {
 	}
 	if p.SnapshotInterval < 0 {
 		return fmt.Errorf("engine: SnapshotInterval must be non-negative")
+	}
+	if p.CheckpointInterval < 0 {
+		return fmt.Errorf("engine: CheckpointInterval must be non-negative")
+	}
+	if p.CheckpointInterval > 0 && p.CheckpointSink == nil {
+		return fmt.Errorf("engine: CheckpointInterval set without a CheckpointSink")
+	}
+	if err := p.Fault.Validate(); err != nil {
+		return err
 	}
 	if err := p.Throughput.Validate(); err != nil {
 		return err

@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bulkpreload/internal/obs"
+)
+
+func TestNilInjectorIsSafeAndFree(t *testing.T) {
+	var j *Injector
+	if bits, ok := j.Strike(); ok || bits != 0 {
+		t.Error("nil injector struck")
+	}
+	if j.Parity() {
+		t.Error("nil injector reports parity")
+	}
+	j.NoteRecovered()
+	j.NoteSilent()
+	j.Reset()
+	if j.Reads() != 0 || j.Name() != "" {
+		t.Error("nil injector has state")
+	}
+	if s := j.Stats(); s != (Stats{}) {
+		t.Errorf("nil injector stats = %+v", s)
+	}
+	if j.Sites() != nil {
+		t.Error("nil injector has sites")
+	}
+}
+
+func TestNewInjectorDisabledRate(t *testing.T) {
+	if j := NewInjector("x", 0, Unprotected, 1, false); j != nil {
+		t.Error("zero rate built an injector")
+	}
+	if j := NewInjector("x", -1, Unprotected, 1, false); j != nil {
+		t.Error("negative rate built an injector")
+	}
+}
+
+// collectStrikes drives n reads and returns the ordinals that struck.
+func collectStrikes(j *Injector, n int) []uint64 {
+	var hits []uint64
+	for i := 0; i < n; i++ {
+		if _, ok := j.Strike(); ok {
+			hits = append(hits, j.Reads())
+		}
+	}
+	return hits
+}
+
+func TestStrikeDeterministicAndResetReplays(t *testing.T) {
+	const n = 500_000
+	a := NewInjector("btb1", 50, Unprotected, 42, false)
+	b := NewInjector("btb1", 50, Unprotected, 42, false)
+	ha := collectStrikes(a, n)
+	hb := collectStrikes(b, n)
+	if len(ha) == 0 {
+		t.Fatal("no strikes in 500k reads at 50/M")
+	}
+	if !reflect.DeepEqual(ha, hb) {
+		t.Error("same seed/rate produced different strike schedules")
+	}
+	// Reset replays the identical stream.
+	a.Reset()
+	if a.Reads() != 0 || a.Stats() != (Stats{}) {
+		t.Error("Reset did not clear state")
+	}
+	if hr := collectStrikes(a, n); !reflect.DeepEqual(ha, hr) {
+		t.Error("post-Reset schedule differs from the original")
+	}
+	// A different seed strikes differently.
+	c := NewInjector("btb1", 50, Unprotected, 43, false)
+	if reflect.DeepEqual(ha, collectStrikes(c, n)) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestStrikeRateMatchesGeometricSchedule(t *testing.T) {
+	const (
+		perM  = 200.0
+		reads = 4_000_000
+	)
+	j := NewInjector("pht", perM, Unprotected, 7, false)
+	hits := len(collectStrikes(j, reads))
+	want := perM / 1e6 * reads
+	// Geometric arrivals: the count concentrates tightly around the
+	// mean; 25% slack is far beyond statistical noise at n=800.
+	if math.Abs(float64(hits)-want) > 0.25*want {
+		t.Errorf("observed %d strikes in %d reads, want about %.0f", hits, reads, want)
+	}
+	if j.Stats().Injected != int64(hits) {
+		t.Errorf("injected counter %d != observed strikes %d", j.Stats().Injected, hits)
+	}
+}
+
+func TestParityCountsRecoveriesAsDetections(t *testing.T) {
+	j := NewInjector("btbp", 1000, Parity, 3, false)
+	for i := 0; i < 100_000; i++ {
+		if _, ok := j.Strike(); ok {
+			j.NoteRecovered()
+		}
+	}
+	s := j.Stats()
+	if s.Injected == 0 {
+		t.Fatal("no strikes")
+	}
+	if s.Detected != s.Recovered {
+		t.Errorf("detected %d != recovered %d", s.Detected, s.Recovered)
+	}
+	if s.Detected != s.Injected {
+		t.Errorf("parity detected %d of %d injected", s.Detected, s.Injected)
+	}
+	if s.Silent != 0 {
+		t.Errorf("parity run counted %d silent faults", s.Silent)
+	}
+}
+
+func TestRecordSites(t *testing.T) {
+	j := NewInjector("ctb", 2000, Unprotected, 9, true)
+	for i := 0; i < 50_000; i++ {
+		if _, ok := j.Strike(); ok {
+			j.NoteSilent()
+		}
+	}
+	sites := j.Sites()
+	if int64(len(sites)) != j.Stats().Injected {
+		t.Fatalf("recorded %d sites for %d injections", len(sites), j.Stats().Injected)
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Read <= sites[i-1].Read {
+			t.Fatal("sites not in read order")
+		}
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	j := NewInjector("btb1", 5000, Parity, 11, false)
+	r := obs.NewRegistry()
+	j.RegisterMetrics(r, "fault_btb1_")
+	for i := 0; i < 10_000; i++ {
+		if _, ok := j.Strike(); ok {
+			j.NoteRecovered()
+		}
+	}
+	snap := r.Snapshot(1)
+	if got := snap.Counter("fault_btb1_injected_total"); got != j.Stats().Injected {
+		t.Errorf("metric injected %d != stats %d", got, j.Stats().Injected)
+	}
+	if got := snap.Counter("fault_btb1_recovered_total"); got != j.Stats().Recovered {
+		t.Errorf("metric recovered %d != stats %d", got, j.Stats().Recovered)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := ZEC12Rates(1, 10, Parity)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if !good.Enabled() {
+		t.Error("configured rates not enabled")
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config enabled")
+	}
+	bad := Config{BTB1PerM: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	nan := Config{PHTPerM: math.NaN()}
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	prot := Config{Protection: Protection(9)}
+	if err := prot.Validate(); err == nil {
+		t.Error("unknown protection accepted")
+	}
+}
+
+func TestZEC12RatesWeights(t *testing.T) {
+	c := ZEC12Rates(5, 100, Unprotected)
+	if c.BTB2PerM != 200 {
+		t.Errorf("BTB2 weight = %v, want 2x base", c.BTB2PerM)
+	}
+	if c.BTBPPerM != 10 {
+		t.Errorf("BTBP weight = %v, want base/10", c.BTBPPerM)
+	}
+	if c.BTB1PerM != 100 || c.PHTPerM != 100 || c.CTBPerM != 100 || c.SBHTPerM != 100 {
+		t.Error("SRAM structures not at base rate")
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, name := range []string{"btb1", "btbp", "btb2", "pht", "ctb", "sbht"} {
+		s := DeriveSeed(1, name)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("seed collision between %s and %s", name, prev)
+		}
+		seen[s] = name
+		if DeriveSeed(1, name) != s {
+			t.Errorf("%s: DeriveSeed not deterministic", name)
+		}
+		if DeriveSeed(2, name) == s {
+			t.Errorf("%s: config seed ignored", name)
+		}
+	}
+}

@@ -57,6 +57,28 @@ func (h *History) Snapshot() Snapshot { return Snapshot{h: *h} }
 // Restore rewinds the history to a prior snapshot.
 func (h *History) Restore(s Snapshot) { *h = s.h }
 
+// State is the serializable (exported-field) mirror of a History, used
+// by checkpoint encoding where Snapshot's unexported field cannot go.
+type State struct {
+	Dirs  uint16
+	Taken [TakenAddrDepth]zaddr.Addr
+	Head  int
+	Count int
+}
+
+// State returns the current state in serializable form.
+func (h *History) State() State {
+	return State{Dirs: h.dirs, Taken: h.taken, Head: h.head, Count: h.count}
+}
+
+// RestoreState overwrites the history with a previously captured State.
+func (h *History) RestoreState(s State) {
+	h.dirs = s.Dirs
+	h.taken = s.Taken
+	h.head = s.Head
+	h.count = s.Count
+}
+
 // Reset clears all history.
 func (h *History) Reset() { *h = History{} }
 

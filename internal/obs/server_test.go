@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServerServesAndShutsDownGracefully(t *testing.T) {
+	var live Live
+	r := NewRegistry()
+	var c Counter
+	r.Counter("test_total", "", "a counter", &c)
+	c.Add(7)
+	live.Publish(r.Snapshot(1))
+
+	s := NewServer(&live)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatalf("scraping live server: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "test_total 7") {
+		t.Errorf("scrape missing counter: %q", body)
+	}
+
+	if err := s.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// The listener is released: connections now fail.
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+func TestServerStartRejectsBadAddress(t *testing.T) {
+	s := NewServer(&Live{})
+	if _, err := s.Start("256.256.256.256:99999"); err == nil {
+		t.Fatal("Start accepted an unbindable address")
+	}
+	// Shutdown on a never-started server is a no-op.
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Errorf("Shutdown of unstarted server: %v", err)
+	}
+}

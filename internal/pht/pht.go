@@ -8,7 +8,10 @@
 package pht
 
 import (
+	"fmt"
+
 	"bulkpreload/internal/bht"
+	"bulkpreload/internal/fault"
 	"bulkpreload/internal/history"
 	"bulkpreload/internal/obs"
 	"bulkpreload/internal/zaddr"
@@ -47,8 +50,15 @@ type metrics struct {
 // Table is the pattern history table.
 type Table struct {
 	entries []entry
+	inj     *fault.Injector // soft-error injection on Lookup; nil = off
 	met     metrics
 }
+
+// SetInjector attaches (or, with nil, detaches) a fault injector.
+func (t *Table) SetInjector(j *fault.Injector) { t.inj = j }
+
+// Injector returns the attached injector (nil when faults are off).
+func (t *Table) Injector() *fault.Injector { return t.inj }
 
 // New builds a PHT with the given entry count (power of two).
 func New(entries int) *Table {
@@ -103,11 +113,37 @@ func tagOf(a zaddr.Addr) uint16 {
 func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (taken bool, ok bool) {
 	t.met.lookups.Inc()
 	e := &t.entries[h.PHTIndex(addr, len(t.entries))]
+	if t.inj != nil && e.valid {
+		t.faultCheck(e)
+	}
 	if !e.valid || e.tag != tagOf(addr) {
 		return false, false
 	}
 	t.met.hits.Inc()
 	return e.dir.Taken(), true
+}
+
+// faultCheck strikes the entry being read, if this read is the one the
+// injector's schedule lands on. The flip domain is the stored payload:
+// 10 tag bits and the 2-bit direction counter. Parity recovers by
+// invalidation; unprotected flips persist (a flipped tag silently
+// redirects the entry to an aliasing branch).
+func (t *Table) faultCheck(e *entry) {
+	bits, ok := t.inj.Strike()
+	if !ok {
+		return
+	}
+	if t.inj.Parity() {
+		*e = entry{}
+		t.inj.NoteRecovered()
+		return
+	}
+	if b := bits % (tagBits + 2); b < tagBits {
+		e.tag ^= 1 << b
+	} else {
+		e.dir ^= 1 << (b - tagBits)
+	}
+	t.inj.NoteSilent()
 }
 
 // Update trains the entry for the branch at addr with a resolved
@@ -131,4 +167,35 @@ func (t *Table) Reset() {
 		t.entries[i] = entry{}
 	}
 	t.met = metrics{}
+}
+
+// EntryState is the serializable mirror of one PHT entry.
+type EntryState struct {
+	Valid bool
+	Tag   uint16
+	Dir   bht.Bimodal
+}
+
+// State is a serializable copy of the table's architectural contents.
+type State struct{ Entries []EntryState }
+
+// State returns a deep copy of the table's architectural state.
+func (t *Table) State() State {
+	s := State{Entries: make([]EntryState, len(t.entries))}
+	for i, e := range t.entries {
+		s.Entries[i] = EntryState{Valid: e.valid, Tag: e.tag, Dir: e.dir}
+	}
+	return s
+}
+
+// RestoreState overwrites the table's contents with s, which must come
+// from a table of identical size.
+func (t *Table) RestoreState(s State) error {
+	if len(s.Entries) != len(t.entries) {
+		return fmt.Errorf("pht: state has %d entries, table has %d", len(s.Entries), len(t.entries))
+	}
+	for i, e := range s.Entries {
+		t.entries[i] = entry{valid: e.Valid, tag: e.Tag, dir: e.Dir}
+	}
+	return nil
 }

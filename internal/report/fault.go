@@ -1,0 +1,22 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"bulkpreload/internal/sim"
+)
+
+// FaultTable renders the soft-error degradation study: one row per
+// (rate, protection) point with the CPI and accuracy hit relative to the
+// fault-free run, plus the injection counters that explain it.
+func FaultTable(w io.Writer, title string, pts []sim.FaultPoint) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  %10s %-12s %8s %9s %8s %10s %9s %9s %8s\n",
+		"faults/M", "protection", "CPI", "dCPI", "bad%", "injected", "detected", "recovered", "silent")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %10.3g %-12s %8.4f %+8.2f%% %7.2f%% %10d %9d %9d %8d\n",
+			p.RatePerM, p.Protection, p.CPI, p.DeltaCPIPct, p.BadRate,
+			p.Stats.Injected, p.Stats.Detected, p.Stats.Recovered, p.Stats.Silent)
+	}
+}

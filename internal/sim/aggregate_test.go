@@ -26,9 +26,11 @@ func TestAggregateMetrics(t *testing.T) {
 	profiles := shardProfiles(3)
 	results := make([]engine.Result, len(profiles))
 	params := quickParams()
-	parallelFor(len(profiles), func(i int) {
+	if err := parallelFor(len(profiles), func(i int) {
 		results[i] = engine.Run(workload.New(profiles[i]), cfgs[ConfigBTB2], params, ConfigBTB2)
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 
 	var wantPred, wantBurstCount int64
 	wantBuckets := []int64{}
@@ -98,12 +100,14 @@ func TestComparisonMetrics(t *testing.T) {
 	profiles := shardProfiles(2)
 	params := quickParams()
 	cs := make([]Comparison, len(profiles))
-	parallelFor(len(profiles), func(i int) {
+	if err := parallelFor(len(profiles), func(i int) {
 		cs[i] = Comparison{
 			Trace: profiles[i].Name,
 			BTB2:  engine.Run(workload.New(profiles[i]), cfgs[ConfigBTB2], params, ConfigBTB2),
 		}
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	var want int64
 	for _, c := range cs {
 		want += c.BTB2.Metrics.Counter("hier_predictions_total")

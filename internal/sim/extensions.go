@@ -37,13 +37,16 @@ func BTB2RowGeometry(rowBytes int) btb.Config {
 // wider BTB2 rows transfer a 4 KB block in fewer reads (higher bus
 // utilization) but can overflow when a sequential code stream carries
 // more than 6 ever-taken branches per row.
-func SweepRowCoverage(profiles []workload.Profile, params engine.Params, widths []int) []SweepPoint {
+func SweepRowCoverage(profiles []workload.Profile, params engine.Params, widths []int) ([]SweepPoint, error) {
 	var out []SweepPoint
 	base := core.OneLevelConfig()
 	for _, w := range widths {
 		cfg := core.DefaultConfig()
 		cfg.BTB2 = BTB2RowGeometry(w)
-		imp := averageImprovement(profiles, params, base, cfg)
+		imp, err := averageImprovement(profiles, params, base, cfg)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%dB rows (%d reads/block)", w, 4096/w),
 			Value:       float64(w),
@@ -51,19 +54,22 @@ func SweepRowCoverage(profiles []workload.Profile, params engine.Params, widths 
 			Shipping:    w == 32,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // SweepMissMode compares the Section 3.4 / Section 6 miss-definition
 // alternatives: early-speculative, late-precise (decode surprise), and
 // their combination.
-func SweepMissMode(profiles []workload.Profile, params engine.Params) []SweepPoint {
+func SweepMissMode(profiles []workload.Profile, params engine.Params) ([]SweepPoint, error) {
 	var out []SweepPoint
 	base := core.OneLevelConfig()
 	for _, m := range []core.MissMode{core.MissSpeculative, core.MissDecodeSurprise, core.MissBoth} {
 		cfg := core.DefaultConfig()
 		cfg.MissMode = m
-		imp := averageImprovement(profiles, params, base, cfg)
+		imp, err := averageImprovement(profiles, params, base, cfg)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, SweepPoint{
 			Label:       m.String(),
 			Value:       float64(m),
@@ -71,12 +77,12 @@ func SweepMissMode(profiles []workload.Profile, params engine.Params) []SweepPoi
 			Shipping:    m == core.MissSpeculative,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // MultiBlockStudy measures the bounded multi-block transfer extension
 // against the shipping single-block design.
-func MultiBlockStudy(profiles []workload.Profile, params engine.Params) []SweepPoint {
+func MultiBlockStudy(profiles []workload.Profile, params engine.Params) ([]SweepPoint, error) {
 	var out []SweepPoint
 	base := core.OneLevelConfig()
 	for _, on := range []bool{false, true} {
@@ -86,7 +92,10 @@ func MultiBlockStudy(profiles []workload.Profile, params engine.Params) []SweepP
 		if on {
 			label = "multi-block chase"
 		}
-		imp := averageImprovement(profiles, params, base, cfg)
+		imp, err := averageImprovement(profiles, params, base, cfg)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, SweepPoint{
 			Label:       label,
 			Value:       b2f(on),
@@ -94,7 +103,7 @@ func MultiBlockStudy(profiles []workload.Profile, params engine.Params) []SweepP
 			Shipping:    !on,
 		})
 	}
-	return out
+	return out, nil
 }
 
 func b2f(b bool) float64 {
@@ -185,14 +194,17 @@ func SharingStudy(a, b workload.Profile, quantum int, cfg core.Config,
 // BTBP-bypass ablation — so its sizing is worth a curve: too small and
 // installs die before promotion; the shipping design uses 6 ways (768
 // branches).
-func SweepBTBPSize(profiles []workload.Profile, params engine.Params, ways []int) []SweepPoint {
+func SweepBTBPSize(profiles []workload.Profile, params engine.Params, ways []int) ([]SweepPoint, error) {
 	var out []SweepPoint
 	for _, w := range ways {
 		base := core.OneLevelConfig()
 		base.BTBP = btb.Config{Name: "BTBP", Rows: 128, Ways: w, IndexHi: 52, IndexLo: 58}
 		cfg := core.DefaultConfig()
 		cfg.BTBP = base.BTBP
-		imp := averageImprovement(profiles, params, base, cfg)
+		imp, err := averageImprovement(profiles, params, base, cfg)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%d branches (128 x %d)", 128*w, w),
 			Value:       float64(128 * w),
@@ -200,20 +212,23 @@ func SweepBTBPSize(profiles []workload.Profile, params engine.Params, ways []int
 			Shipping:    w == 6,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // SweepInstallDelay varies the surprise-install write latency: how long
 // a resolved surprise branch takes to become visible in the BTBP. The
 // latency class of Figure 4 ("due to latency for writing surprise
 // branches into the prediction tables") scales with it.
-func SweepInstallDelay(profiles []workload.Profile, params engine.Params, delays []uint64) []SweepPoint {
+func SweepInstallDelay(profiles []workload.Profile, params engine.Params, delays []uint64) ([]SweepPoint, error) {
 	var out []SweepPoint
 	base := core.OneLevelConfig()
 	for _, d := range delays {
 		cfg := core.DefaultConfig()
 		cfg.SurpriseInstallDelay = d
-		imp := averageImprovement(profiles, params, base, cfg)
+		imp, err := averageImprovement(profiles, params, base, cfg)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%d cycles", d),
 			Value:       float64(d),
@@ -221,5 +236,5 @@ func SweepInstallDelay(profiles []workload.Profile, params engine.Params, delays
 			Shipping:    d == 24,
 		})
 	}
-	return out
+	return out, nil
 }

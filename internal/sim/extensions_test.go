@@ -32,7 +32,10 @@ func TestSweepRowCoverage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	pts := SweepRowCoverage([]workload.Profile{quickProfile()}, quickParams(), []int{32, 64})
+	pts, err := SweepRowCoverage([]workload.Profile{quickProfile()}, quickParams(), []int{32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -50,7 +53,10 @@ func TestSweepMissMode(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	pts := SweepMissMode([]workload.Profile{quickProfile()}, quickParams())
+	pts, err := SweepMissMode([]workload.Profile{quickProfile()}, quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -70,7 +76,10 @@ func TestMultiBlockStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("study in -short mode")
 	}
-	pts := MultiBlockStudy([]workload.Profile{quickProfile()}, quickParams())
+	pts, err := MultiBlockStudy([]workload.Profile{quickProfile()}, quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -141,7 +150,10 @@ func TestSweepBTBPSize(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	pts := SweepBTBPSize([]workload.Profile{quickProfile()}, quickParams(), []int{2, 6})
+	pts, err := SweepBTBPSize([]workload.Profile{quickProfile()}, quickParams(), []int{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 || !pts[1].Shipping {
 		t.Fatalf("points wrong: %+v", pts)
 	}
@@ -151,7 +163,10 @@ func TestSweepInstallDelay(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	pts := SweepInstallDelay([]workload.Profile{quickProfile()}, quickParams(), []uint64{8, 24, 96})
+	pts, err := SweepInstallDelay([]workload.Profile{quickProfile()}, quickParams(), []uint64{8, 24, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 3 || !pts[1].Shipping {
 		t.Fatalf("points wrong: %+v", pts)
 	}

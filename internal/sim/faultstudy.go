@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/engine"
+	"bulkpreload/internal/fault"
+	"bulkpreload/internal/workload"
+)
+
+// FaultPoint is one row of the soft-error degradation study: the
+// two-level configuration run under one base fault rate and one
+// protection model.
+type FaultPoint struct {
+	// RatePerM is the base injection rate (faults per million valid
+	// entry reads); per-structure rates derive from it via
+	// fault.ZEC12Rates.
+	RatePerM   float64
+	Protection fault.Protection
+
+	CPI     float64
+	BadRate float64 // bad branch outcomes, percent of all outcomes
+
+	// DeltaCPIPct is the CPI degradation relative to the fault-free run
+	// of the same configuration (positive = slower under faults).
+	DeltaCPIPct float64
+
+	// Stats aggregates injected/detected/recovered/silent across all
+	// structures for the run.
+	Stats fault.Stats
+}
+
+// FaultStudy measures how predictor accuracy and CPI degrade as the
+// soft-error rate rises, under both protection models. For each rate in
+// rates it runs the shipping two-level configuration twice — unprotected
+// (silent corruption propagates) and parity (detect on read, invalidate,
+// let the semi-exclusive BTB2 refetch) — plus one fault-free reference
+// run that anchors DeltaCPIPct. The fault seed is the workload seed, so
+// a fixed profile reproduces the same strike sites run after run.
+//
+// Points are ordered rate-major (unprotected then parity within a rate);
+// failed shards stay zero-valued and surface in the returned error.
+func FaultStudy(profile workload.Profile, params engine.Params, rates []float64) ([]FaultPoint, error) {
+	cfg := core.DefaultConfig()
+	clean := engine.Run(workload.New(profile), cfg, params, ConfigBTB2)
+	cleanCPI := clean.CPI()
+
+	prots := []fault.Protection{fault.Unprotected, fault.Parity}
+	out := make([]FaultPoint, len(rates)*len(prots))
+	err := parallelFor(len(out), func(i int) {
+		rate := rates[i/len(prots)]
+		prot := prots[i%len(prots)]
+		p := params
+		p.Fault = fault.ZEC12Rates(uint64(profile.Seed), rate, prot)
+		res := engine.Run(workload.New(profile), cfg, p, ConfigBTB2)
+		pt := FaultPoint{
+			RatePerM:   rate,
+			Protection: prot,
+			CPI:        res.CPI(),
+			BadRate:    100 * res.Outcomes.BadRate(),
+			Stats:      res.Fault,
+		}
+		if cleanCPI != 0 {
+			pt.DeltaCPIPct = 100 * (res.CPI() - cleanCPI) / cleanCPI
+		}
+		out[i] = pt
+	})
+	return out, err
+}

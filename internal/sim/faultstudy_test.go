@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"bulkpreload/internal/engine"
+	"bulkpreload/internal/fault"
+	"bulkpreload/internal/workload"
+)
+
+func faultStudyProfile() workload.Profile {
+	return workload.Profile{
+		Name: "fault-study", UniqueBranches: 4_000, TakenFraction: 0.62,
+		Instructions: 80_000, HotFraction: 0.2, WindowFunctions: 16,
+		CallsPerTransaction: 4, Seed: 17,
+	}
+}
+
+func fastStudyParams() engine.Params {
+	p := engine.DefaultParams()
+	p.WarmupInstructions = 0
+	return p
+}
+
+func TestFaultStudyShape(t *testing.T) {
+	rates := []float64{10, 1000}
+	pts, err := FaultStudy(faultStudyProfile(), fastStudyParams(), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(rates)*2 {
+		t.Fatalf("got %d points, want %d (rates x protections)", len(pts), len(rates)*2)
+	}
+	for i, pt := range pts {
+		wantRate := rates[i/2]
+		wantProt := []fault.Protection{fault.Unprotected, fault.Parity}[i%2]
+		if pt.RatePerM != wantRate || pt.Protection != wantProt {
+			t.Errorf("point %d is (%g, %s), want (%g, %s)",
+				i, pt.RatePerM, pt.Protection, wantRate, wantProt)
+		}
+		if pt.CPI <= 0 {
+			t.Errorf("point %d: non-positive CPI %v", i, pt.CPI)
+		}
+		if pt.Stats.Injected == 0 {
+			t.Errorf("point %d: rate %g injected no faults", i, pt.RatePerM)
+		}
+		switch pt.Protection {
+		case fault.Unprotected:
+			if pt.Stats.Detected != 0 || pt.Stats.Recovered != 0 {
+				t.Errorf("point %d: unprotected run detected faults: %+v", i, pt.Stats)
+			}
+		case fault.Parity:
+			if pt.Stats.Recovered != pt.Stats.Detected {
+				t.Errorf("point %d: recovered %d != detected %d",
+					i, pt.Stats.Recovered, pt.Stats.Detected)
+			}
+			if pt.Stats.Silent != 0 {
+				t.Errorf("point %d: parity run has %d silent corruptions", i, pt.Stats.Silent)
+			}
+		}
+	}
+}
+
+// TestFaultStudyDeterministic pins the acceptance criterion that the
+// degradation table is bit-for-bit reproducible with a fixed seed, even
+// though the study's shards run on arbitrary goroutines.
+func TestFaultStudyDeterministic(t *testing.T) {
+	rates := []float64{100}
+	a, err := FaultStudy(faultStudyProfile(), fastStudyParams(), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultStudy(faultStudyProfile(), fastStudyParams(), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical studies produced different tables:\n%+v\n%+v", a, b)
+	}
+}

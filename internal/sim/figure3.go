@@ -22,7 +22,7 @@ type HardwareResult struct {
 // Figure3 reproduces the hardware study: WASDB+CBW2 on one core, and Web
 // CICS/DB2 on four cores (four independent per-core instances with
 // distinct seeds, aggregated by total cycles — system throughput).
-func Figure3(instructions int, params engine.Params) []HardwareResult {
+func Figure3(instructions int, params engine.Params) ([]HardwareResult, error) {
 	hw := params
 	hw.FiniteL2 = true
 
@@ -31,7 +31,7 @@ func Figure3(instructions int, params engine.Params) []HardwareResult {
 	// Single-core WASDB+CBW2.
 	wasdb, err := workload.ByName("zos-lspr-wasdb-cbw2", instructions)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	out = append(out, HardwareResult{
 		Name:         "WASDB+CBW2 (1 core)",
@@ -43,7 +43,7 @@ func Figure3(instructions int, params engine.Params) []HardwareResult {
 	// Four-core Web CICS/DB2: four per-core instances, distinct seeds.
 	base, err := workload.ByName("zos-lspr-cicsdb2", instructions)
 	if err != nil {
-		panic(err)
+		return out, err
 	}
 	var cores []workload.Profile
 	for i := 0; i < 4; i++ {
@@ -58,7 +58,7 @@ func Figure3(instructions int, params engine.Params) []HardwareResult {
 		SimGain:      gainOn(cores, params),
 		HardwareGain: gainOn(cores, hw),
 	})
-	return out
+	return out, nil
 }
 
 // gainOn runs config 1 and config 2 across all profiles (one engine

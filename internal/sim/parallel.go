@@ -1,7 +1,11 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -9,17 +13,54 @@ import (
 // Each index's work must be independent (every study builds its own
 // engine and workload instances), so results are deterministic
 // regardless of scheduling.
-func parallelFor(n int, fn func(i int)) {
+//
+// A panicking index is isolated: its goroutine recovers, the panic is
+// reported in the returned error (joined across all failed indices),
+// and every other index still runs to completion — a single corrupt
+// shard costs its own result, not the whole study.
+func parallelFor(n int, fn func(i int)) error {
+	return parallelForCtx(context.Background(), n, fn)
+}
+
+// parallelForCtx is parallelFor with cancellation: once ctx is done, no
+// new index is dispatched (indices already running finish normally) and
+// ctx.Err() is included in the returned error.
+func parallelForCtx(ctx context.Context, n int, fn func(i int)) error {
+	var (
+		mu   sync.Mutex
+		errs []error
+	)
+	report := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+	// run executes one index, converting a panic into an error carrying
+	// the shard index and its stack.
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				report(fmt.Errorf("sim: shard %d panicked: %v\n%s", i, r, debug.Stack()))
+			}
+		}()
+		fn(i)
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				report(fmt.Errorf("sim: canceled before shard %d: %w", i, err))
+				break
+			}
+			run(i)
 		}
-		return
+		return errors.Join(errs...)
 	}
+
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -27,13 +68,20 @@ func parallelFor(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				run(i)
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			report(fmt.Errorf("sim: canceled before shard %d: %w", i, ctx.Err()))
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	return errors.Join(errs...)
 }

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForRecoversPanics: a panicking shard must surface in the
+// returned error (with its index) while every other shard still runs.
+func TestParallelForRecoversPanics(t *testing.T) {
+	const n = 32
+	hit := make([]int32, n)
+	err := parallelFor(n, func(i int) {
+		if i == 7 || i == 20 {
+			panic("shard blew up")
+		}
+		hit[i]++
+	})
+	if err == nil {
+		t.Fatal("panicking shards reported no error")
+	}
+	for _, want := range []string{"shard 7", "shard 20", "shard blew up"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not mention %q:\n%v", want, err)
+		}
+	}
+	for i, h := range hit {
+		if i == 7 || i == 20 {
+			continue
+		}
+		if h != 1 {
+			t.Errorf("healthy shard %d visited %d times, want 1", i, h)
+		}
+	}
+}
+
+// TestParallelForCtxCancellation: once the context dies, undispatched
+// shards are skipped and the cancellation shows up in the joined error.
+func TestParallelForCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	release := make(chan struct{})
+	err := parallelForCtx(ctx, 1000, func(i int) {
+		if ran.Add(1) == 1 {
+			cancel() // kill the feed from inside the first shard
+			close(release)
+		}
+		<-release
+	})
+	if err == nil {
+		t.Fatal("canceled run reported no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("all %d shards ran despite cancellation", got)
+	}
+}
+
+func TestParallelForCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := parallelForCtx(ctx, 8, func(i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled context not reported: %v", err)
+	}
+	// Workers may drain a few already-queued indices, but a dead context
+	// must not let the whole range through unnoticed alongside no error.
+	if ran.Load() == 8 && err == nil {
+		t.Error("every shard ran under a dead context with no error")
+	}
+}

@@ -81,13 +81,15 @@ func Compare(src trace.Source, params engine.Params) Comparison {
 // three configurations, in parallel across traces (each comparison uses
 // private engine and workload instances, so results are deterministic).
 // instructions <= 0 uses the workload default.
-func Figure2(instructions int, params engine.Params) []Comparison {
+// A shard that fails (panics) leaves its Comparison zero-valued and is
+// reported in the returned error; the other shards' results survive.
+func Figure2(instructions int, params engine.Params) ([]Comparison, error) {
 	profiles := workload.Table4Profiles(instructions)
 	out := make([]Comparison, len(profiles))
-	parallelFor(len(profiles), func(i int) {
+	err := parallelFor(len(profiles), func(i int) {
 		out[i] = Compare(workload.New(profiles[i]), params)
 	})
-	return out
+	return out, err
 }
 
 // AverageBTB2Improvement returns the mean BTB2 improvement across
@@ -137,13 +139,16 @@ func btb2Geometry(rows int) btb.Config {
 
 // SweepBTB2Size reproduces Figure 5: the average improvement as the BTB2
 // capacity varies. Sizes are total branch capacities (rows x 6).
-func SweepBTB2Size(profiles []workload.Profile, params engine.Params, rowCounts []int) []SweepPoint {
+func SweepBTB2Size(profiles []workload.Profile, params engine.Params, rowCounts []int) ([]SweepPoint, error) {
 	var out []SweepPoint
 	base := core.OneLevelConfig()
 	for _, rows := range rowCounts {
 		cfg := core.DefaultConfig()
 		cfg.BTB2 = btb2Geometry(rows)
-		imp := averageImprovement(profiles, params, base, cfg)
+		imp, err := averageImprovement(profiles, params, base, cfg)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%dk (%d x 6)", rows*6/1024, rows),
 			Value:       float64(rows * 6),
@@ -151,19 +156,22 @@ func SweepBTB2Size(profiles []workload.Profile, params engine.Params, rowCounts 
 			Shipping:    rows == 4096,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // SweepMissDefinition reproduces Figure 6: the average improvement as the
 // BTB1-miss search limit varies (the shipping design uses 4 searches /
 // 128 bytes).
-func SweepMissDefinition(profiles []workload.Profile, params engine.Params, limits []int) []SweepPoint {
+func SweepMissDefinition(profiles []workload.Profile, params engine.Params, limits []int) ([]SweepPoint, error) {
 	var out []SweepPoint
 	base := core.OneLevelConfig()
 	for _, lim := range limits {
 		cfg := core.DefaultConfig()
 		cfg.Miss.SearchLimit = lim
-		imp := averageImprovement(profiles, params, base, cfg)
+		imp, err := averageImprovement(profiles, params, base, cfg)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%d searches (%dB)", lim, lim*32),
 			Value:       float64(lim),
@@ -171,18 +179,21 @@ func SweepMissDefinition(profiles []workload.Profile, params engine.Params, limi
 			Shipping:    lim == 4,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // SweepTrackers reproduces Figure 7: the average improvement as the
 // number of BTB2 search trackers varies (the shipping design uses 3).
-func SweepTrackers(profiles []workload.Profile, params engine.Params, counts []int) []SweepPoint {
+func SweepTrackers(profiles []workload.Profile, params engine.Params, counts []int) ([]SweepPoint, error) {
 	var out []SweepPoint
 	base := core.OneLevelConfig()
 	for _, n := range counts {
 		cfg := core.DefaultConfig()
 		cfg.Tracker.Count = n
-		imp := averageImprovement(profiles, params, base, cfg)
+		imp, err := averageImprovement(profiles, params, base, cfg)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%d trackers", n),
 			Value:       float64(n),
@@ -190,14 +201,15 @@ func SweepTrackers(profiles []workload.Profile, params engine.Params, counts []i
 			Shipping:    n == 3,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // averageImprovement runs base and variant configs over all profiles (in
-// parallel) and averages the CPI improvement.
-func averageImprovement(profiles []workload.Profile, params engine.Params, base, variant core.Config) float64 {
+// parallel) and averages the CPI improvement. A failed shard contributes
+// zero to the average and surfaces in the returned error.
+func averageImprovement(profiles []workload.Profile, params engine.Params, base, variant core.Config) (float64, error) {
 	imps := make([]float64, len(profiles))
-	parallelFor(len(profiles), func(i int) {
+	err := parallelFor(len(profiles), func(i int) {
 		src := workload.New(profiles[i])
 		b := engine.Run(src, base, params, "base")
 		v := engine.Run(src, variant, params, "variant")
@@ -207,7 +219,7 @@ func averageImprovement(profiles []workload.Profile, params engine.Params, base,
 	for _, imp := range imps {
 		sum += imp
 	}
-	return sum / float64(len(profiles))
+	return sum / float64(len(profiles)), err
 }
 
 // Ablation is one named design-choice variation and its average
@@ -220,7 +232,7 @@ type Ablation struct {
 // Ablations runs the design-choice studies DESIGN.md calls out: steering
 // off, I-cache filter off, exclusivity policies, and the not-taken
 // install knob.
-func Ablations(profiles []workload.Profile, params engine.Params) []Ablation {
+func Ablations(profiles []workload.Profile, params engine.Params) ([]Ablation, error) {
 	base := core.OneLevelConfig()
 	variants := []struct {
 		name   string
@@ -239,11 +251,15 @@ func Ablations(profiles []workload.Profile, params engine.Params) []Ablation {
 	for _, v := range variants {
 		cfg := core.DefaultConfig()
 		v.mutate(&cfg)
+		imp, err := averageImprovement(profiles, params, base, cfg)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, Ablation{
 			Name:        v.name,
-			Improvement: averageImprovement(profiles, params, base, cfg),
+			Improvement: imp,
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Improvement > out[j].Improvement })
-	return out
+	return out, nil
 }

@@ -107,7 +107,10 @@ func TestEffectivenessZeroGuard(t *testing.T) {
 
 func TestSweepBTB2Size(t *testing.T) {
 	profiles := []workload.Profile{quickProfile()}
-	pts := SweepBTB2Size(profiles, quickParams(), []int{1024, 4096})
+	pts, err := SweepBTB2Size(profiles, quickParams(), []int{1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -127,7 +130,10 @@ func TestSweepBTB2Size(t *testing.T) {
 
 func TestSweepMissDefinition(t *testing.T) {
 	profiles := []workload.Profile{quickProfile()}
-	pts := SweepMissDefinition(profiles, quickParams(), []int{2, 4})
+	pts, err := SweepMissDefinition(profiles, quickParams(), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -143,7 +149,10 @@ func TestSweepMissDefinition(t *testing.T) {
 
 func TestSweepTrackers(t *testing.T) {
 	profiles := []workload.Profile{quickProfile()}
-	pts := SweepTrackers(profiles, quickParams(), []int{1, 3})
+	pts, err := SweepTrackers(profiles, quickParams(), []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -162,7 +171,10 @@ func TestAblations(t *testing.T) {
 		t.Skip("ablations in -short mode")
 	}
 	profiles := []workload.Profile{quickProfile()}
-	abs := Ablations(profiles, quickParams())
+	abs, err := Ablations(profiles, quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(abs) != 8 {
 		t.Fatalf("ablations = %d", len(abs))
 	}
@@ -187,7 +199,10 @@ func TestFigure2Small(t *testing.T) {
 	}
 	// A miniature Figure 2: just verify all 13 traces run and produce
 	// finite numbers.
-	cs := Figure2(120_000, quickParams())
+	cs, err := Figure2(120_000, quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cs) != 13 {
 		t.Fatalf("traces = %d", len(cs))
 	}
@@ -201,7 +216,9 @@ func TestFigure2Small(t *testing.T) {
 func TestParallelForCoversAllIndices(t *testing.T) {
 	for _, n := range []int{0, 1, 3, 17, 64} {
 		hit := make([]int32, n)
-		parallelFor(n, func(i int) { hit[i]++ })
+		if err := parallelFor(n, func(i int) { hit[i]++ }); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
 		for i, h := range hit {
 			if h != 1 {
 				t.Fatalf("n=%d index %d visited %d times", n, i, h)

@@ -33,6 +33,13 @@ const (
 // ErrBadTrace reports a structurally invalid trace file.
 var ErrBadTrace = errors.New("trace: malformed trace file")
 
+// ErrTruncated reports a trace that ends mid-stream: the header promised
+// more bytes than the file holds (interrupted write, partial copy,
+// filesystem damage). It always accompanies ErrBadTrace, so errors.Is
+// works with either sentinel; the message carries the failing byte
+// offset rather than a bare io.ErrUnexpectedEOF.
+var ErrTruncated = errors.New("trace: truncated trace file")
+
 // Write serializes all instructions from src to w in ZBPT format. It
 // resets src, makes one counting pass, resets again and streams records.
 func Write(w io.Writer, src Source) (int64, error) {
@@ -93,42 +100,59 @@ func WriteSlice(w io.Writer, name string, ins []Inst) (int64, error) {
 }
 
 // Read deserializes a full ZBPT stream from r, validating every record.
+//
+// On error, the name and every record parsed before the failure are
+// still returned alongside it, so callers that can live with a shorter
+// trace (see ReadFileTolerant) may salvage the prefix. Truncation errors
+// satisfy errors.Is(err, ErrTruncated) and report the byte offset where
+// the stream gave out.
 func Read(r io.Reader) (name string, ins []Inst, err error) {
 	br := bufio.NewReader(r)
+	var off int64 // bytes fully consumed so far
 	magic := make([]byte, len(fileMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return "", nil, fmt.Errorf("%w: missing magic: %v", ErrBadTrace, err)
+	if k, err := io.ReadFull(br, magic); err != nil {
+		return "", nil, fmt.Errorf("%w: %w: magic cut short at byte offset %d (want %d header bytes)",
+			ErrBadTrace, ErrTruncated, off+int64(k), len(fileMagic))
 	}
 	if string(magic) != fileMagic {
 		return "", nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
 	}
+	off += int64(len(fileMagic))
 	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return "", nil, fmt.Errorf("%w: truncated header: %v", ErrBadTrace, err)
+	if k, err := io.ReadFull(br, hdr[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: %w: version/name header cut short at byte offset %d",
+			ErrBadTrace, ErrTruncated, off+int64(k))
 	}
+	off += int64(len(hdr))
 	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != fileVersion {
 		return "", nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
 	}
 	nameLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
 	nameBytes := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBytes); err != nil {
-		return "", nil, fmt.Errorf("%w: truncated name: %v", ErrBadTrace, err)
+	if k, err := io.ReadFull(br, nameBytes); err != nil {
+		return "", nil, fmt.Errorf("%w: %w: name cut short at byte offset %d (want %d name bytes)",
+			ErrBadTrace, ErrTruncated, off+int64(k), nameLen)
 	}
+	off += int64(nameLen)
 	name = string(nameBytes)
 	var cnt [8]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return "", nil, fmt.Errorf("%w: truncated count: %v", ErrBadTrace, err)
+	if k, err := io.ReadFull(br, cnt[:]); err != nil {
+		return name, nil, fmt.Errorf("%w: %w: record count cut short at byte offset %d",
+			ErrBadTrace, ErrTruncated, off+int64(k))
 	}
+	off += int64(len(cnt))
 	n := binary.LittleEndian.Uint64(cnt[:])
 	const maxRecords = 1 << 31
 	if n > maxRecords {
-		return "", nil, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, n)
+		return name, nil, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, n)
 	}
 	ins = make([]Inst, 0, n)
 	var rec [recordSize]byte
 	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return "", nil, fmt.Errorf("%w: truncated record %d: %v", ErrBadTrace, i, err)
+		if k, err := io.ReadFull(br, rec[:]); err != nil {
+			return name, ins, fmt.Errorf(
+				"%w: %w: record %d of %d cut short at byte offset %d (%d of %d record bytes present)",
+				ErrBadTrace, ErrTruncated, i, n, off+int64(k), k, recordSize)
 		}
 		in := Inst{
 			Addr:        zaddr.Addr(binary.LittleEndian.Uint64(rec[0:8])),
@@ -140,8 +164,9 @@ func Read(r io.Reader) (name string, ins []Inst, err error) {
 			StaticTaken: rec[26]&2 != 0,
 		}
 		if err := in.Validate(); err != nil {
-			return "", nil, fmt.Errorf("%w: record %d: %v", ErrBadTrace, i, err)
+			return name, ins, fmt.Errorf("%w: record %d at byte offset %d: %v", ErrBadTrace, i, off, err)
 		}
+		off += recordSize
 		ins = append(ins, in)
 	}
 	return name, ins, nil
@@ -172,4 +197,28 @@ func ReadFile(path string) (*SliceSource, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return NewSliceSource(name, ins), nil
+}
+
+// ReadFileTolerant loads the named ZBPT file, salvaging the valid record
+// prefix when the tail is truncated or corrupt (a crashed tracegen, a
+// partial copy). The returned source holds every record before the first
+// bad byte; diag is non-nil exactly when records were dropped and
+// carries Read's byte-offset diagnostic. A file damaged before any
+// record could be parsed (bad magic, unsupported version, unreadable
+// header) is not salvageable and is returned as an error with a nil
+// source.
+func ReadFileTolerant(path string) (src *SliceSource, diag error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	name, ins, rerr := Read(f)
+	if rerr == nil {
+		return NewSliceSource(name, ins), nil, nil
+	}
+	if len(ins) == 0 {
+		return nil, nil, fmt.Errorf("%s: nothing salvageable: %w", path, rerr)
+	}
+	return NewSliceSource(name, ins), fmt.Errorf("%s: salvaged %d records: %w", path, len(ins), rerr), nil
 }

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzSeedTrace builds a small valid ZBPT stream for seeding the corpus
+// and the truncation tests.
+func fuzzSeedTrace(tb testing.TB) []byte {
+	tb.Helper()
+	ins := []Inst{
+		{Addr: 0x1000, Length: 4, Kind: NotBranch},
+		{Addr: 0x1004, Length: 2, Kind: CondDirect, Taken: true, Target: 0x2000},
+		{Addr: 0x2000, Length: 6, Kind: Call, Taken: true, Target: 0x3000},
+		{Addr: 0x3000, Length: 4, Kind: Return, Taken: true, Target: 0x2006},
+	}
+	var buf bytes.Buffer
+	if _, err := WriteSlice(&buf, "fuzz-seed", ins); err != nil {
+		tb.Fatalf("writing seed trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRead throws arbitrary bytes at the trace reader. Whatever the
+// input, Read must not panic, must classify every failure under
+// ErrBadTrace, must never leak a bare io error, and must hand back a
+// round-trippable result on success.
+func FuzzRead(f *testing.F) {
+	valid := fuzzSeedTrace(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("ZBPT"))
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:len(valid)-recordSize-5])
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, ins, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("error not classified as ErrBadTrace: %v", err)
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				t.Fatalf("raw io sentinel leaked to callers: %v", err)
+			}
+			return
+		}
+		// Success must round-trip: re-encoding the result and re-reading
+		// it yields the same records.
+		var buf bytes.Buffer
+		if _, werr := WriteSlice(&buf, name, ins); werr != nil {
+			t.Fatalf("re-encoding accepted trace: %v", werr)
+		}
+		name2, ins2, rerr := Read(&buf)
+		if rerr != nil || name2 != name || len(ins2) != len(ins) {
+			t.Fatalf("round trip mismatch: err=%v name %q/%q records %d/%d",
+				rerr, name, name2, len(ins), len(ins2))
+		}
+		for i := range ins {
+			if ins[i] != ins2[i] {
+				t.Fatalf("record %d changed across round trip: %+v vs %+v", i, ins[i], ins2[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestReadTruncatedRecordDiagnostic is the regression test for the
+// opaque "truncated record N: unexpected EOF" failure mode: a trace cut
+// mid-record must produce a descriptive error naming the failing byte
+// offset, classified under ErrTruncated/ErrBadTrace, never a bare
+// io.ErrUnexpectedEOF — and the intact prefix must still come back.
+func TestReadTruncatedRecordDiagnostic(t *testing.T) {
+	valid := fuzzSeedTrace(t)
+	headerLen := len(valid) - 4*recordSize
+
+	// Cut 5 bytes into the third record.
+	cutAt := headerLen + 2*recordSize + 5
+	name, ins, err := Read(bytes.NewReader(valid[:cutAt]))
+	if err == nil {
+		t.Fatal("Read accepted a truncated trace")
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("error does not match ErrTruncated: %v", err)
+	}
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("error does not match ErrBadTrace: %v", err)
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("io.ErrUnexpectedEOF leaked through: %v", err)
+	}
+	// The diagnostic names the byte offset where the stream gave out
+	// (the cut point itself).
+	wantOff := "byte offset " + strconv.Itoa(cutAt)
+	if !strings.Contains(err.Error(), wantOff) {
+		t.Errorf("error %q does not name %q", err, wantOff)
+	}
+	if !strings.Contains(err.Error(), "record 2 of 4") {
+		t.Errorf("error %q does not identify the failing record", err)
+	}
+	// Prefix salvage: the two complete records and the name survive.
+	if name != "fuzz-seed" || len(ins) != 2 {
+		t.Errorf("salvaged prefix = %q/%d records, want fuzz-seed/2", name, len(ins))
+	}
+}
+
+func TestReadTruncatedAtEveryBoundary(t *testing.T) {
+	valid := fuzzSeedTrace(t)
+	for cut := 0; cut < len(valid); cut++ {
+		_, _, err := Read(bytes.NewReader(valid[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d bytes: Read reported success", cut)
+		}
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("cut at %d bytes: error not ErrBadTrace: %v", cut, err)
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			t.Fatalf("cut at %d bytes: raw io sentinel leaked: %v", cut, err)
+		}
+	}
+}
+
+func TestReadFileTolerant(t *testing.T) {
+	valid := fuzzSeedTrace(t)
+	dir := t.TempDir()
+
+	whole := filepath.Join(dir, "whole.zbpt")
+	if err := os.WriteFile(whole, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, diag, err := ReadFileTolerant(whole)
+	if err != nil || diag != nil {
+		t.Fatalf("intact file: err=%v diag=%v", err, diag)
+	}
+	if src.Len() != 4 {
+		t.Errorf("intact file: %d records, want 4", src.Len())
+	}
+
+	cut := filepath.Join(dir, "cut.zbpt")
+	if err := os.WriteFile(cut, valid[:len(valid)-recordSize-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, diag, err = ReadFileTolerant(cut)
+	if err != nil {
+		t.Fatalf("salvageable file rejected: %v", err)
+	}
+	if diag == nil || !errors.Is(diag, ErrTruncated) {
+		t.Errorf("diag = %v, want ErrTruncated diagnostic", diag)
+	}
+	if src.Name() != "fuzz-seed" || src.Len() != 2 {
+		t.Errorf("salvaged %q/%d records, want fuzz-seed/2", src.Name(), src.Len())
+	}
+
+	hopeless := filepath.Join(dir, "hopeless.zbpt")
+	if err := os.WriteFile(hopeless, []byte("NOPE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFileTolerant(hopeless); err == nil {
+		t.Error("unsalvageable file did not error")
+	}
+}
