@@ -300,10 +300,16 @@ func sharing(insts int) {
 	}
 	params := engine.DefaultParams()
 	const quantum = 20_000
-	for name, cfg := range map[string]core.Config{
-		"config 1 (no BTB2)": core.OneLevelConfig(),
-		"config 2 (BTB2)":    core.DefaultConfig(),
+	// An ordered slice, not a map: the report rows must print in the
+	// same order on every run.
+	for _, c := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"config 1 (no BTB2)", core.OneLevelConfig()},
+		{"config 2 (BTB2)", core.DefaultConfig()},
 	} {
+		name, cfg := c.name, c.cfg
 		r := sim.SharingStudy(a, b, quantum, cfg, params, name)
 		fmt.Printf("  %-20s solo CPI %.4f, mixed CPI %.4f, interference %+.2f%%\n",
 			name, r.SoloCPI, r.MixedCPI, r.InterferencePct)

@@ -1,0 +1,189 @@
+// Command zbpcheck is the multichecker for the simulator's
+// domain-specific analyzer suite (internal/check/...): it mechanically
+// enforces determinism, the paper's address bit-geometry, the
+// zero-allocation hot-path contract, metrics registration, and error
+// handling in the binaries and study layer. CI runs it on every build;
+// run it locally with
+//
+//	go run ./cmd/zbpcheck ./...
+//
+// Diagnostics print as file:line:col: [analyzer] message, and the exit
+// status is 1 when any diagnostic (including an unused //zbp:allow) is
+// reported. See docs/STATIC_ANALYSIS.md for the analyzer catalogue and
+// the //zbp:hotpath, //zbp:wallclock, and //zbp:allow annotations.
+//
+// The checker loads packages offline: module and vendored packages by
+// path mapping, standard-library imports from GOROOT source. It
+// analyzes non-test files (the contracts it enforces are production
+// ones; fixtures under testdata are exercised by the analysistest
+// suite instead).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"bulkpreload/internal/check/bitrange"
+	"bulkpreload/internal/check/determinism"
+	"bulkpreload/internal/check/erring"
+	"bulkpreload/internal/check/hotalloc"
+	"bulkpreload/internal/check/load"
+	"bulkpreload/internal/check/obsreg"
+)
+
+// Suite is the full analyzer suite, in reporting order.
+var suite = []*analysis.Analyzer{
+	determinism.Analyzer,
+	bitrange.Analyzer,
+	hotalloc.Analyzer,
+	obsreg.Analyzer,
+	erring.Analyzer,
+}
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: zbpcheck [packages]\n\nAnalyzes the module's packages (default ./...).\nPatterns: ./... or package directories relative to the module root.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *listOnly {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "zbpcheck:", err)
+		os.Exit(2)
+	}
+}
+
+type diag struct {
+	pos      token.Position
+	analyzer string
+	d        analysis.Diagnostic
+}
+
+func run(patterns []string) error {
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, modPath, err := load.FindModule(wd)
+	if err != nil {
+		return err
+	}
+	l := load.New(root, modPath)
+	pkgs, err := l.ModulePackages()
+	if err != nil {
+		return err
+	}
+	pkgs = filterPackages(pkgs, root, wd, patterns)
+	if len(pkgs) == 0 {
+		return fmt.Errorf("no packages match %v", patterns)
+	}
+
+	var diags []diag
+	seen := map[string]bool{} // dedupe identical cross-analyzer reports (malformed allows)
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Fset:       pkg.Fset,
+			Files:      pkg.Syntax,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: pkg.TypeSizes,
+		}
+		for _, a := range suite {
+			pass.Analyzer = a
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				key := fmt.Sprintf("%s:%d:%d:%s", pos.Filename, pos.Line, pos.Column, d.Message)
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				diags = append(diags, diag{pos: pos, analyzer: a.Name, d: d})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, d := range diags {
+		rel := d.pos.Filename
+		if r, err := filepath.Rel(wd, rel); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.pos.Line, d.pos.Column, d.analyzer, d.d.Message)
+		for _, fix := range d.d.SuggestedFixes {
+			fmt.Printf("\tsuggested fix: %s\n", fix.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Printf("zbpcheck: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// filterPackages applies the command-line patterns: "./..." (or no
+// patterns) keeps everything; "./dir/..." keeps the subtree under the
+// working directory's dir; other patterns match package directories
+// exactly (relative to the working directory).
+func filterPackages(pkgs []*load.Package, root, wd string, patterns []string) []*load.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*load.Package
+	for _, pkg := range pkgs {
+		for _, pat := range patterns {
+			if matchPattern(pkg, wd, pat) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(pkg *load.Package, wd, pat string) bool {
+	if pat == "all" {
+		return true
+	}
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "." || pat == "" {
+			return strings.HasPrefix(pkg.Dir+string(filepath.Separator), wd+string(filepath.Separator)) || pkg.Dir == wd
+		}
+	}
+	abs := pat
+	if !filepath.IsAbs(pat) {
+		abs = filepath.Join(wd, pat)
+	}
+	if pkg.Dir == abs {
+		return true
+	}
+	return recursive && strings.HasPrefix(pkg.Dir, abs+string(filepath.Separator))
+}

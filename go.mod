@@ -1,3 +1,5 @@
 module bulkpreload
 
 go 1.22
+
+require golang.org/x/tools v0.24.0

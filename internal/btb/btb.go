@@ -185,6 +185,8 @@ func (t *Table) RegisterMetrics(r *obs.Registry, prefix string) {
 }
 
 // RowFor returns the congruence class the address maps to.
+//
+//zbp:hotpath
 func (t *Table) RowFor(a zaddr.Addr) int {
 	return int(zaddr.Bits(a, t.cfg.IndexHi, t.cfg.IndexLo))
 }
@@ -192,6 +194,8 @@ func (t *Table) RowFor(a zaddr.Addr) int {
 // tagOf extracts the comparison tag for an address. With TagBits = 0 the
 // tag is every bit above the index; otherwise only TagBits bits
 // immediately above the index, which lets distinct lines alias.
+//
+//zbp:hotpath
 func (t *Table) tagOf(a zaddr.Addr) uint64 {
 	if t.cfg.IndexHi == 0 {
 		return 0 // index consumes the whole address; no tag bits remain
@@ -206,17 +210,23 @@ func (t *Table) tagOf(a zaddr.Addr) uint64 {
 // lineMatch reports whether entry address ea and probe address pa map to
 // the same row with equal tags — i.e. whether hardware would consider
 // them the same 32-byte line.
+//
+//zbp:hotpath
 func (t *Table) lineMatch(ea, pa zaddr.Addr) bool {
 	return t.RowFor(ea) == t.RowFor(pa) && t.tagOf(ea) == t.tagOf(pa)
 }
 
 // lineOffset returns a's byte offset within this table's row coverage.
+//
+//zbp:hotpath
 func (t *Table) lineOffset(a zaddr.Addr) uint {
-	return uint(a) & uint(t.cfg.LineBytes()-1)
+	return uint(zaddr.OffsetWithin(a, uint64(t.cfg.LineBytes())))
 }
 
 // entryMatch reports whether an entry would be recognized as the branch
 // at address a: same line (per tag policy) and same offset in the line.
+//
+//zbp:hotpath
 func (t *Table) entryMatch(e *Entry, a zaddr.Addr) bool {
 	return e.Valid && t.lineMatch(e.Addr, a) && t.lineOffset(e.Addr) == t.lineOffset(a)
 }
@@ -232,6 +242,8 @@ type Hit struct {
 // match the line, in way order. This models the parallel read of a full
 // congruence class performed each search cycle. The result shares no
 // storage with the table.
+//
+//zbp:hotpath
 func (t *Table) LookupLine(line zaddr.Addr, out []Hit) []Hit {
 	t.met.lookups.Inc()
 	row := t.RowFor(line)
@@ -261,6 +273,8 @@ func (t *Table) LookupLine(line zaddr.Addr, out []Hit) []Hit {
 }
 
 // Find returns a copy of the entry recognized as branch a, if present.
+//
+//zbp:hotpath
 func (t *Table) Find(a zaddr.Addr) (Entry, bool) {
 	if e := t.find(a); e != nil {
 		return *e, true
@@ -268,6 +282,7 @@ func (t *Table) Find(a zaddr.Addr) (Entry, bool) {
 	return Entry{}, false
 }
 
+//zbp:hotpath
 func (t *Table) find(a zaddr.Addr) *Entry {
 	row := t.RowFor(a)
 	base := row * t.cfg.Ways
@@ -288,6 +303,8 @@ func (t *Table) Contains(a zaddr.Addr) bool { return t.find(a) != nil }
 
 // Update overwrites the existing entry for branch e.Addr in place,
 // preserving its recency rank. It reports whether an entry was found.
+//
+//zbp:hotpath
 func (t *Table) Update(e Entry) bool {
 	slot := t.find(e.Addr)
 	if slot == nil {
@@ -303,6 +320,8 @@ func (t *Table) Update(e Entry) bool {
 // present it is updated in place and made MRU. Otherwise the entry is
 // written over an invalid way if one exists, else over the LRU way, and
 // made MRU; the displaced valid entry, if any, is returned as the victim.
+//
+//zbp:hotpath
 func (t *Table) Insert(e Entry) (victim Entry, evicted bool) {
 	return t.insert(e, false)
 }
@@ -311,10 +330,13 @@ func (t *Table) Insert(e Entry) (victim Entry, evicted bool) {
 // recency rank instead of promoting it. The BTB2's semi-exclusive policy
 // uses this for entries that were just copied *out* (made LRU so future
 // victims overwrite them first).
+//
+//zbp:hotpath
 func (t *Table) InsertAtLRU(e Entry) (victim Entry, evicted bool) {
 	return t.insert(e, true)
 }
 
+//zbp:hotpath
 func (t *Table) insert(e Entry, atLRU bool) (victim Entry, evicted bool) {
 	e.Valid = true
 	row := t.RowFor(e.Addr)
@@ -359,6 +381,8 @@ func (t *Table) insert(e Entry, atLRU bool) (victim Entry, evicted bool) {
 
 // Touch makes the entry for branch a most recently used. It reports
 // whether the branch was present.
+//
+//zbp:hotpath
 func (t *Table) Touch(a zaddr.Addr) bool {
 	row := t.RowFor(a)
 	base := row * t.cfg.Ways
@@ -374,6 +398,8 @@ func (t *Table) Touch(a zaddr.Addr) bool {
 // Demote makes the entry for branch a least recently used. The paper's
 // semi-exclusive policy: "When an entry is copied from BTB2 to BTBP, it
 // is made LRU in the BTB2", so subsequent victims/installs replace it.
+//
+//zbp:hotpath
 func (t *Table) Demote(a zaddr.Addr) bool {
 	row := t.RowFor(a)
 	base := row * t.cfg.Ways
@@ -388,6 +414,8 @@ func (t *Table) Demote(a zaddr.Addr) bool {
 
 // Invalidate removes the entry for branch a, reporting whether it was
 // present. The removed way becomes LRU.
+//
+//zbp:hotpath
 func (t *Table) Invalidate(a zaddr.Addr) bool {
 	row := t.RowFor(a)
 	base := row * t.cfg.Ways
@@ -402,6 +430,8 @@ func (t *Table) Invalidate(a zaddr.Addr) bool {
 }
 
 // promoteWay moves way w of row to recency rank 0 (MRU).
+//
+//zbp:hotpath
 func (t *Table) promoteWay(row, w int) {
 	base := row * t.cfg.Ways
 	ord := t.order[base : base+t.cfg.Ways]
@@ -416,6 +446,8 @@ func (t *Table) promoteWay(row, w int) {
 }
 
 // demoteWay moves way w of row to recency rank ways-1 (LRU).
+//
+//zbp:hotpath
 func (t *Table) demoteWay(row, w int) {
 	base := row * t.cfg.Ways
 	ord := t.order[base : base+t.cfg.Ways]

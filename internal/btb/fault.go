@@ -1,6 +1,9 @@
 package btb
 
-import "bulkpreload/internal/fault"
+import (
+	"bulkpreload/internal/fault"
+	"bulkpreload/internal/zaddr"
+)
 
 // SetInjector attaches (or, with nil, detaches) a fault injector. With an
 // injector attached, every read of a valid entry on the lookup paths
@@ -20,13 +23,13 @@ func (t *Table) Injector() *fault.Injector { return t.inj }
 // cannot collide inside one row) and would break the hierarchy's
 // structural invariants.
 const (
-	targetBits   = 64                // Entry.Target, bits 0..63
-	dirBit0      = targetBits        // Entry.Dir, 2-bit bimodal counter
-	usePHTBit    = dirBit0 + 2       // Entry.UsePHT
-	useCTBBit    = usePHTBit + 1     // Entry.UseCTB
-	lengthBit0   = useCTBBit + 1     // Entry.Length, 3 bits
-	validBit     = lengthBit0 + 3    // tag/valid upset: entry is lost
-	payloadWidth = validBit + 1      // 72
+	targetBits   = 64             // Entry.Target, bits 0..63
+	dirBit0      = targetBits     // Entry.Dir, 2-bit bimodal counter
+	usePHTBit    = dirBit0 + 2    // Entry.UsePHT
+	useCTBBit    = usePHTBit + 1  // Entry.UseCTB
+	lengthBit0   = useCTBBit + 1  // Entry.Length, 3 bits
+	validBit     = lengthBit0 + 3 // tag/valid upset: entry is lost
+	payloadWidth = validBit + 1   // 72
 )
 
 // faultCheck strikes way w of row with the injector's next scheduled
@@ -34,6 +37,8 @@ const (
 // detects the upset and recovers by invalidation (the way becomes LRU,
 // and semi-exclusivity lets first-level entries refetch from BTB2);
 // unprotected arrays keep serving the flipped entry.
+//
+//zbp:hotpath
 func (t *Table) faultCheck(row, w int) {
 	bits, ok := t.inj.Strike()
 	if !ok {
@@ -51,11 +56,13 @@ func (t *Table) faultCheck(row, w int) {
 }
 
 // corruptEntry flips one uniformly chosen payload bit of e.
+//
+//zbp:hotpath
 func corruptEntry(e *Entry, bits uint64) {
 	b := bits % payloadWidth
 	switch {
 	case b < dirBit0:
-		e.Target ^= 1 << b
+		e.Target = zaddr.FlipBit(e.Target, uint(b))
 	case b < usePHTBit:
 		e.Dir ^= 1 << (b - dirBit0) // stays within the 2-bit counter range
 	case b == usePHTBit:

@@ -151,7 +151,7 @@ func (c *Cache) RegisterMetrics(r *obs.Registry, prefix string) {
 }
 
 func (c *Cache) setAndTag(a zaddr.Addr) (int, uint64) {
-	lineNo := uint64(a) >> c.shift
+	lineNo := zaddr.ChunkIndex(a, uint64(c.cfg.LineBytes))
 	return int(lineNo & c.mask), lineNo >> uint(log2(c.sets))
 }
 

@@ -1,0 +1,15 @@
+package bitrange_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/bitrange"
+)
+
+// TestBitrange exercises constant bit-range propagation, btb.Config
+// geometry checking, and the raw shift/mask check against the zaddr and
+// btb fixture stubs.
+func TestBitrange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), bitrange.Analyzer, "geometry")
+}

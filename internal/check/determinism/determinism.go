@@ -1,0 +1,291 @@
+// Package determinism defines an analyzer that enforces bit-exact
+// reproducibility in the simulator's determinism-critical packages.
+// Checkpoint/resume equivalence and seeded fault injection are only
+// sound if a run is a pure function of (trace, config, seeds); this
+// analyzer rejects the three ways nondeterminism has historically
+// leaked into simulators:
+//
+//  1. wall-clock reads (time.Now, time.Since) outside sites annotated
+//     //zbp:wallclock <reason>;
+//  2. the global math/rand source (rand.Intn, rand.Seed, ...) — the
+//     allowed idiom is an explicit seeded stream, rand.New(rand.NewSource(s)),
+//     as used by internal/workload;
+//  3. iteration over a map whose body lets Go's randomized iteration
+//     order reach results: appends, writes to variables declared
+//     outside the loop, bare calls (which may emit output), or returns
+//     that mention the iteration variables. Order-independent bodies —
+//     deleting from the ranged map, commutative updates (+=, ^=, ...),
+//     writes keyed by the iteration key — are accepted.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"bulkpreload/internal/check/directive"
+)
+
+// criticalPkgs are the reproducibility-critical package names (matched
+// against the last element of the package path, so fixtures under
+// testdata behave like the real tree).
+var criticalPkgs = map[string]bool{
+	"core": true, "engine": true, "fault": true, "btb": true,
+	"pht": true, "ctb": true, "bht": true, "history": true,
+	"tracker": true, "steering": true, "sim": true,
+}
+
+const name = "determinism"
+
+// Analyzer is the determinism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid wall-clock reads, the global math/rand source, and " +
+		"order-dependent map iteration in reproducibility-critical packages",
+	Run: run,
+}
+
+// globalRandAllowed are the math/rand package-level functions that do
+// not touch the shared global source.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !criticalPkgs[directive.PkgLastElem(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	allows := directive.CollectAllows(pass, name)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, allows, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, allows, n)
+			}
+			return true
+		})
+	}
+	allows.ReportUnused(pass)
+	return nil, nil
+}
+
+// calleeFunc resolves a call to the package-level *types.Func it
+// invokes, if any.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func checkCall(pass *analysis.Pass, allows *directive.AllowSet, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			allows.Report(pass, call,
+				"time.%s in determinism-critical package %s: simulated time must come from the engine clock; annotate intentional wall-clock sites with //zbp:wallclock <reason>",
+				fn.Name(), pass.Pkg.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on *rand.Rand carry an explicit seeded source and are
+		// the sanctioned idiom; only package-level functions hit the
+		// global source.
+		if fn.Type().(*types.Signature).Recv() != nil || globalRandAllowed[fn.Name()] {
+			return
+		}
+		allows.Report(pass, call,
+			"global math/rand.%s uses the shared process-wide source; use a seeded stream: rand.New(rand.NewSource(seed))",
+			fn.Name())
+	}
+}
+
+// checkMapRange flags range-over-map statements whose body is not
+// provably order-independent.
+func checkMapRange(pass *analysis.Pass, allows *directive.AllowSet, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	loopVars := rangeVars(pass, rng)
+	var reason string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if r := checkRangeAssign(pass, rng, loopVars, n); r != "" {
+				reason = r
+			}
+			return true
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && !isOrderFreeCall(pass, rng, call) {
+				reason = "calls " + callName(pass, call) + ", whose effects observe iteration order"
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if mentionsAny(pass, res, loopVars) {
+					reason = "returns a value derived from the iteration variables"
+					return false
+				}
+			}
+			return true
+		case *ast.SendStmt:
+			reason = "sends on a channel in iteration order"
+			return false
+		case *ast.GoStmt, *ast.DeferStmt:
+			reason = "launches calls in iteration order"
+			return false
+		}
+		return true
+	})
+	if reason != "" {
+		allows.Report(pass, rng,
+			"map iteration order is randomized but this loop %s; iterate a sorted copy of the keys, restructure to an order-free body, or annotate //zbp:allow determinism <reason>",
+			reason)
+	}
+}
+
+// rangeVars returns the objects of the loop's key/value variables.
+func rangeVars(pass *analysis.Pass, rng *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out = append(out, obj)
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out = append(out, obj) // "=" range form
+			}
+		}
+	}
+	return out
+}
+
+// checkRangeAssign classifies an assignment inside a map-range body.
+// Returns a non-empty reason if it is order-dependent.
+func checkRangeAssign(pass *analysis.Pass, rng *ast.RangeStmt, loopVars []types.Object, as *ast.AssignStmt) string {
+	switch as.Tok {
+	case token.DEFINE:
+		return "" // new variables scoped to the body are harmless
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		return "" // commutative accumulation is order-independent
+	}
+	for _, lhs := range as.Lhs {
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[lhs]
+			if obj == nil || declaredInside(pass, obj, rng) {
+				continue
+			}
+			// Writing a loop-dependent value to an outer variable: the
+			// final value depends on which key iterates last.
+			return "assigns to " + lhs.Name + ", declared outside the loop"
+		case *ast.IndexExpr:
+			// m2[k] = v keyed by the iteration key touches a distinct
+			// element per iteration — order-free.
+			if id, ok := ast.Unparen(lhs.Index).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && isAny(obj, loopVars) {
+					continue
+				}
+			}
+			return "writes through an index that is not the iteration key"
+		default:
+			return "assigns through " + nodeString(pass, lhs)
+		}
+	}
+	// RHS append grows a slice in iteration order even when assigned to
+	// a body-local (it may escape via the backing array).
+	for _, rhs := range as.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return "appends to a slice in iteration order"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// isOrderFreeCall accepts the statement calls whose effects cannot
+// observe iteration order: delete(m, k) on the ranged map and the
+// clear builtin.
+func isOrderFreeCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return id.Name == "delete" || id.Name == "clear"
+}
+
+func callName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.Name()
+	}
+	return nodeString(pass, call.Fun)
+}
+
+// declaredInside reports whether obj's declaration lies within the
+// range statement.
+func declaredInside(pass *analysis.Pass, obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+func isAny(obj types.Object, set []types.Object) bool {
+	for _, o := range set {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsAny reports whether expr references any of the objects.
+func mentionsAny(pass *analysis.Pass, expr ast.Expr, objs []types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && isAny(obj, objs) {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func nodeString(pass *analysis.Pass, n ast.Node) string {
+	if e, ok := n.(ast.Expr); ok {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "a composite expression"
+}

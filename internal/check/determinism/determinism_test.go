@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/determinism"
+)
+
+// TestDeterminism exercises the wall-clock, global-rand, and map-order
+// checks on the "core" fixture, and the package-scope gate on "other"
+// (same constructs, zero diagnostics expected).
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "core", "other")
+}

@@ -1,0 +1,182 @@
+// Package directive parses the zbpcheck source annotations shared by
+// every analyzer in the suite:
+//
+//	//zbp:hotpath
+//	    On a function declaration's doc comment: the function is a
+//	    zero-allocation hot path; the hotalloc analyzer checks its body.
+//
+//	//zbp:allow <analyzer> <reason>
+//	    On (or immediately above) an offending line: suppress the named
+//	    analyzer's diagnostics on that line. The reason is mandatory,
+//	    and an allow that suppresses nothing is itself reported, so
+//	    stale escape hatches cannot accumulate.
+//
+//	//zbp:wallclock <reason>
+//	    Determinism-analyzer shorthand for an annotated wall-clock
+//	    site: equivalent to //zbp:allow determinism <reason>, kept
+//	    distinct so intent is greppable.
+//
+// Annotations are plain line comments and must start exactly with
+// "//zbp:" (no space), mirroring the //go: directive convention.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Allow is one parsed //zbp:allow (or //zbp:wallclock) directive.
+type Allow struct {
+	Pos       token.Pos // position of the comment
+	File      string    // file the comment lives in
+	Line      int       // line the comment starts on
+	Analyzer  string    // analyzer name the allow addresses
+	Reason    string    // mandatory justification
+	Used      bool      // set when the allow suppresses a diagnostic
+	Malformed bool      // missing analyzer name or reason
+}
+
+// AllowSet holds the directives of one package that address one
+// analyzer, plus enough position context to match them to diagnostics.
+type AllowSet struct {
+	analyzer string
+	fset     *token.FileSet
+	allows   []*Allow
+}
+
+const (
+	prefix          = "//zbp:"
+	allowPrefix     = "//zbp:allow"
+	wallclockPrefix = "//zbp:wallclock"
+	hotpathPrefix   = "//zbp:hotpath"
+)
+
+// CollectAllows scans every comment in the pass for //zbp:allow
+// directives addressing the named analyzer. //zbp:wallclock is folded
+// in as an allow for "determinism".
+func CollectAllows(pass *analysis.Pass, analyzer string) *AllowSet {
+	s := &AllowSet{analyzer: analyzer, fset: pass.Fset}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a, ok := parseAllow(c)
+				if !ok {
+					continue
+				}
+				a.File = pass.Fset.Position(c.Pos()).Filename
+				a.Line = pass.Fset.Position(c.Pos()).Line
+				a.Pos = c.Pos()
+				// A malformed allow with no analyzer name is collected by
+				// every analyzer; the multichecker dedupes the identical
+				// diagnostics.
+				if a.Analyzer == analyzer || (a.Malformed && a.Analyzer == "") {
+					s.allows = append(s.allows, a)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// parseAllow recognizes //zbp:allow and //zbp:wallclock comments.
+func parseAllow(c *ast.Comment) (*Allow, bool) {
+	switch {
+	case strings.HasPrefix(c.Text, allowPrefix):
+		rest := strings.TrimPrefix(c.Text, allowPrefix)
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			return nil, false // e.g. //zbp:allowance
+		}
+		fields := strings.Fields(rest)
+		a := &Allow{}
+		if len(fields) == 0 {
+			a.Malformed = true
+			return a, true
+		}
+		a.Analyzer = fields[0]
+		if len(fields) < 2 {
+			a.Malformed = true
+			return a, true
+		}
+		a.Reason = strings.Join(fields[1:], " ")
+		return a, true
+	case strings.HasPrefix(c.Text, wallclockPrefix):
+		rest := strings.TrimPrefix(c.Text, wallclockPrefix)
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			return nil, false
+		}
+		a := &Allow{Analyzer: "determinism", Reason: strings.TrimSpace(rest)}
+		if a.Reason == "" {
+			a.Malformed = true
+		}
+		return a, true
+	}
+	return nil, false
+}
+
+// Permit reports whether a diagnostic at pos is suppressed by an allow
+// on the same line or the line immediately above, and marks the
+// matching allow used.
+func (s *AllowSet) Permit(pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	for _, a := range s.allows {
+		if a.Malformed || a.File != p.Filename {
+			continue
+		}
+		if a.Line == p.Line || a.Line == p.Line-1 {
+			a.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Report is the allow-aware reporting helper every analyzer in the
+// suite funnels through: the diagnostic is dropped (and the allow
+// consumed) when a directive covers rng's position.
+func (s *AllowSet) Report(pass *analysis.Pass, rng analysis.Range, format string, args ...interface{}) {
+	if s.Permit(rng.Pos()) {
+		return
+	}
+	pass.ReportRangef(rng, format, args...)
+}
+
+// ReportUnused reports every malformed allow and every allow that
+// suppressed nothing. Run it after the analyzer's main pass: an
+// escape hatch that is not load-bearing is itself a finding.
+func (s *AllowSet) ReportUnused(pass *analysis.Pass) {
+	for _, a := range s.allows {
+		switch {
+		case a.Malformed:
+			pass.Reportf(a.Pos, "malformed //zbp:allow: want //zbp:allow <analyzer> <reason>")
+		case !a.Used:
+			pass.Reportf(a.Pos, "unused //zbp:allow %s: no %s diagnostic on this or the next line; delete the stale escape hatch", s.analyzer, s.analyzer)
+		}
+	}
+}
+
+// HasHotpath reports whether fn's doc comment carries //zbp:hotpath.
+func HasHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathPrefix || strings.HasPrefix(c.Text, hotpathPrefix+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgLastElem returns the final slash-separated element of a package
+// path: "bulkpreload/internal/btb" and a fixture's bare "btb" both map
+// to "btb", which is how the analyzers scope themselves to the
+// reproducibility-critical packages in real and test trees alike.
+func PkgLastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,224 @@
+// Package erring defines an analyzer that forbids discarding errors
+// returned by the simulator's own APIs in the binaries (cmd/...) and
+// the study layer (internal/sim). PR 2 made the study, engine, and
+// checkpoint entry points return errors precisely so shard failures
+// and corrupt inputs surface instead of silently skewing results; a
+// bare call or a blank-assigned error at those call sites reintroduces
+// the silent-skew bug class. Standard-library calls (fmt.Println and
+// friends) are out of scope — the contract covers module-internal
+// APIs.
+package erring
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"bulkpreload/internal/check/directive"
+)
+
+const name = "erring"
+
+// Analyzer is the erring analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "module-internal calls in cmd/ and internal/sim must not discard returned errors",
+	Run:  run,
+}
+
+// ModulePath scopes "module-internal callee": a callee package path
+// equal to it or under it is checked, as is the analyzed package
+// itself (which is how analysistest fixtures exercise the check).
+var ModulePath = "bulkpreload"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	allows := directive.CollectAllows(pass, name)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, allows, call)
+				}
+			case *ast.DeferStmt:
+				checkBareCall(pass, allows, n.Call)
+			case *ast.GoStmt:
+				checkBareCall(pass, allows, n.Call)
+			case *ast.AssignStmt:
+				checkBlankError(pass, allows, n)
+			}
+			return true
+		})
+	}
+	allows.ReportUnused(pass)
+	return nil, nil
+}
+
+// inScope reports whether the analyzed package is a command or the
+// study layer: any path with a "cmd" segment, or a path whose last
+// element is "sim".
+func inScope(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return directive.PkgLastElem(path) == "sim"
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// errorPositions returns the result indices of call that are of type
+// error, and the total result count.
+func errorPositions(pass *analysis.Pass, call *ast.CallExpr) (idx []int, n int) {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return nil, 0
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				idx = append(idx, i)
+			}
+		}
+		return idx, tuple.Len()
+	}
+	if types.Identical(t, errorType) {
+		return []int{0}, 1
+	}
+	return nil, 1
+}
+
+// moduleInternal reports whether the call's callee belongs to this
+// module (or the analyzed package itself).
+func moduleInternal(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		// A called func-typed variable or field: attribute it to the
+		// package that declared it.
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		return samePkgOrModule(pass, v.Pkg())
+	}
+	return samePkgOrModule(pass, fn.Pkg())
+}
+
+func samePkgOrModule(pass *analysis.Pass, pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if pkg == pass.Pkg {
+		return true
+	}
+	p := pkg.Path()
+	return p == ModulePath || strings.HasPrefix(p, ModulePath+"/")
+}
+
+func checkBareCall(pass *analysis.Pass, allows *directive.AllowSet, call *ast.CallExpr) {
+	idx, n := errorPositions(pass, call)
+	if len(idx) == 0 || !moduleInternal(pass, call) {
+		return
+	}
+	if allows.Permit(call.Pos()) {
+		return
+	}
+	d := analysis.Diagnostic{
+		Pos: call.Pos(), End: call.End(),
+		Message: fmt.Sprintf("result of %s contains an error that is silently discarded; handle it or annotate //zbp:allow erring <reason>", callLabel(pass, call)),
+	}
+	// Cheap fix for the single-error statement-call shape.
+	if n == 1 {
+		src := render(pass, call)
+		d.SuggestedFixes = []analysis.SuggestedFix{{
+			Message: "handle the error",
+			TextEdits: []analysis.TextEdit{{
+				Pos: call.Pos(), End: call.End(),
+				NewText: []byte("if err := " + src + "; err != nil {\n\tpanic(err) // TODO: handle\n}"),
+			}},
+		}}
+	}
+	pass.Report(d)
+}
+
+// checkBlankError flags assignments that put an error result into the
+// blank identifier: _ = f(), v, _ := g().
+func checkBlankError(pass *analysis.Pass, allows *directive.AllowSet, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !moduleInternal(pass, call) {
+			return
+		}
+		idx, _ := errorPositions(pass, call)
+		for _, i := range idx {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				allows.Report(pass, as,
+					"error result of %s is assigned to _; handle it or annotate //zbp:allow erring <reason>",
+					callLabel(pass, call))
+				return
+			}
+		}
+		return
+	}
+	// Parallel assignment: x, _ = f(), g() — check each RHS call.
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !moduleInternal(pass, call) {
+			continue
+		}
+		idx, n := errorPositions(pass, call)
+		if n == 1 && len(idx) == 1 && i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+			allows.Report(pass, as,
+				"error result of %s is assigned to _; handle it or annotate //zbp:allow erring <reason>",
+				callLabel(pass, call))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func callLabel(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && f.Pkg() != nil {
+			if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+				return fmt.Sprintf("(%s).%s", types.TypeString(recv.Type(), types.RelativeTo(pass.Pkg)), f.Name())
+			}
+			return f.Pkg().Name() + "." + f.Name()
+		}
+		return fun.Sel.Name
+	}
+	return "this call"
+}
+
+func render(pass *analysis.Pass, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, n); err != nil {
+		return "<src>"
+	}
+	return buf.String()
+}

@@ -1,0 +1,14 @@
+package erring_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/erring"
+)
+
+// TestErring exercises bare-call and blank-assignment error discards in
+// the in-scope "sim" fixture, and the scope gate on "other".
+func TestErring(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), erring.Analyzer, "sim", "other")
+}

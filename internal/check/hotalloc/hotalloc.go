@@ -1,0 +1,263 @@
+// Package hotalloc defines an analyzer that enforces the
+// zero-allocation hot-path contract documented in docs/OBSERVABILITY.md
+// and pinned at runtime by the AllocsPerRun tests: a function whose doc
+// comment carries //zbp:hotpath must not contain allocating constructs.
+// The analyzer is intentionally syntactic and conservative — it flags
+// the construct classes that allocate (or defeat escape analysis) in
+// practice rather than reimplementing the compiler's escape analysis:
+//
+//   - fmt calls (interface boxing plus formatting state);
+//   - string concatenation and to-string conversions of non-constant
+//     operands;
+//   - make, new, and address-taken/map/slice composite literals;
+//   - function literals (closures capture and escape);
+//   - append whose destination is not the slice being grown in place
+//     (x = append(x, ...) amortizes into a preallocated buffer; any
+//     other shape grows a fresh backing array on the hot path);
+//   - conversions of non-pointer concrete values to interface types
+//     (boxing).
+//
+// Value struct/array literals, arithmetic, and calls are allowed; a
+// callee that is itself hot must carry its own //zbp:hotpath
+// annotation to be checked. Intentional one-time allocations (lazy
+// init) use //zbp:allow hotalloc <reason>.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"bulkpreload/internal/check/directive"
+)
+
+const name = "hotalloc"
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "forbid allocating constructs in functions annotated //zbp:hotpath",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	allows := directive.CollectAllows(pass, name)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !directive.HasHotpath(fn) || fn.Body == nil {
+				continue
+			}
+			checkBody(pass, allows, fn)
+		}
+	}
+	allows.ReportUnused(pass)
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, allows *directive.AllowSet, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, allows, fn, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(pass, n) {
+				allows.Report(pass, n, "hot path %s concatenates strings, which allocates", fn.Name.Name)
+			}
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, allows, fn, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					allows.Report(pass, n, "hot path %s takes the address of a composite literal, which heap-allocates", fn.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			allows.Report(pass, n, "hot path %s declares a function literal; closures capture state and allocate", fn.Name.Name)
+			return false
+		case *ast.AssignStmt:
+			checkAppend(pass, allows, fn, n)
+		case *ast.GoStmt:
+			allows.Report(pass, n, "hot path %s starts a goroutine, which allocates a stack", fn.Name.Name)
+		case *ast.DeferStmt:
+			allows.Report(pass, n, "hot path %s defers a call; defer records allocate in loops and inhibit inlining", fn.Name.Name)
+		}
+		checkInterfaceBoxing(pass, allows, fn, n)
+		return true
+	})
+}
+
+// isNonConstString reports whether the binary expression produces a
+// string value that is not fully constant-folded at compile time
+// (constant concatenations live in rodata and do not allocate).
+func isNonConstString(pass *analysis.Pass, bin *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[bin]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func checkCall(pass *analysis.Pass, allows *directive.AllowSet, fn *ast.FuncDecl, call *ast.CallExpr) {
+	switch callee := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[callee].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				allows.Report(pass, call, "hot path %s calls make, which allocates; preallocate in the constructor", fn.Name.Name)
+			case "new":
+				allows.Report(pass, call, "hot path %s calls new, which heap-allocates", fn.Name.Name)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[callee.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+			allows.Report(pass, call, "hot path %s calls fmt.%s, which boxes arguments and allocates", fn.Name.Name, f.Name())
+			return
+		}
+	}
+	// String conversion of a non-string operand: string(b), string(r).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+			argT := pass.TypesInfo.TypeOf(call.Args[0])
+			if argB, ok := argT.Underlying().(*types.Basic); !ok || argB.Info()&types.IsString == 0 {
+				if v, ok := pass.TypesInfo.Types[call.Args[0]]; !ok || v.Value == nil {
+					allows.Report(pass, call, "hot path %s converts to string, which allocates", fn.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+func checkCompositeLit(pass *analysis.Pass, allows *directive.AllowSet, fn *ast.FuncDecl, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		allows.Report(pass, lit, "hot path %s builds a map literal, which allocates", fn.Name.Name)
+	case *types.Slice:
+		allows.Report(pass, lit, "hot path %s builds a slice literal, which allocates a backing array", fn.Name.Name)
+	}
+	// Value struct/array literals stay on the stack unless their
+	// address is taken (caught by the UnaryExpr case).
+}
+
+// checkAppend enforces the preallocated-growth idiom: only
+// x = append(x, ...) — growing a buffer in place — is accepted.
+func checkAppend(pass *analysis.Pass, allows *directive.AllowSet, fn *ast.FuncDecl, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if i < len(as.Lhs) && sameStorage(pass, as.Lhs[i], call.Args[0]) {
+			continue
+		}
+		allows.Report(pass, call,
+			"hot path %s appends into a different slice than it grows; only x = append(x, ...) on a preallocated buffer is allocation-free in steady state", fn.Name.Name)
+	}
+}
+
+// sameStorage reports whether two expressions statically denote the
+// same variable or field chain (x and x, h.buf and h.buf, or
+// x and x[:0] / x[:n] reslices of it).
+func sameStorage(pass *analysis.Pass, a, b ast.Expr) bool {
+	b = ast.Unparen(b)
+	if sl, ok := b.(*ast.SliceExpr); ok {
+		b = sl.X // x = append(x[:0], ...) reuses x's backing array
+	}
+	return refString(pass, a) != "" && refString(pass, a) == refString(pass, b)
+}
+
+// refString renders a restricted reference expression (idents and
+// field selections) to a comparable string; anything else yields "".
+func refString(pass *analysis.Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(e); obj != nil {
+			return obj.Name()
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		base := refString(pass, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// checkInterfaceBoxing flags implicit conversions of non-pointer
+// concrete values to interface types in assignments and call
+// arguments.
+func checkInterfaceBoxing(pass *analysis.Pass, allows *directive.AllowSet, fn *ast.FuncDecl, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		sig, ok := pass.TypesInfo.TypeOf(n.Fun).(*types.Signature)
+		if !ok {
+			return // conversion or builtin
+		}
+		params := sig.Params()
+		for i, arg := range n.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if n.Ellipsis.IsValid() {
+					continue // forwarding a slice, no boxing
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			default:
+				continue
+			}
+			reportBoxing(pass, allows, fn, arg, pt)
+		}
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i, rhs := range n.Rhs {
+			if lt := pass.TypesInfo.TypeOf(n.Lhs[i]); lt != nil {
+				reportBoxing(pass, allows, fn, rhs, lt)
+			}
+		}
+	}
+}
+
+func reportBoxing(pass *analysis.Pass, allows *directive.AllowSet, fn *ast.FuncDecl, val ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[val]
+	if !ok || tv.Value != nil { // constants box into rodata-backed values
+		return
+	}
+	vt := tv.Type
+	if vt == nil || types.IsInterface(vt) {
+		return
+	}
+	switch vt.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		return // pointer-shaped: boxing does not copy to the heap
+	}
+	if basic, ok := vt.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return
+	}
+	allows.Report(pass, val,
+		"hot path %s converts non-pointer %s to interface %s, which heap-allocates the boxed copy",
+		fn.Name.Name, types.TypeString(vt, types.RelativeTo(pass.Pkg)), types.TypeString(target, types.RelativeTo(pass.Pkg)))
+}

@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/hotalloc"
+)
+
+// TestHotalloc exercises every forbidden construct class inside
+// //zbp:hotpath functions, the allowed idioms (in-place append, value
+// literals, pointer boxing), and the escape hatch.
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "hot")
+}

@@ -1,0 +1,14 @@
+// Package btb is a fixture stub mirroring the real
+// bulkpreload/internal/btb Config surface the bitrange analyzer's
+// geometry check recognizes (matched by package-path last element).
+package btb
+
+// Config fixes a table's geometry.
+type Config struct {
+	Name    string
+	Rows    int
+	Ways    int
+	IndexHi uint
+	IndexLo uint
+	TagBits uint
+}

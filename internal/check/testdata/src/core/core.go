@@ -1,0 +1,78 @@
+// Package core is a determinism-analyzer fixture: its path ends in
+// "core", one of the reproducibility-critical package names.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallclock() int64 {
+	t := time.Now()    // want `time.Now in determinism-critical package core`
+	d := time.Since(t) // want `time.Since in determinism-critical package core`
+	_ = d
+	//zbp:wallclock progress logging only, excluded from results
+	t2 := time.Now()
+	return t2.Unix()
+}
+
+func randomness(r *rand.Rand, seed int64) int {
+	n := rand.Intn(4)                           // want `global math/rand.Intn uses the shared process-wide source`
+	rand.Seed(seed)                             // want `global math/rand.Seed uses the shared process-wide source`
+	n += r.Intn(4)                              // ok: method on an explicit seeded stream
+	n += rand.New(rand.NewSource(seed)).Intn(4) // ok: the sanctioned construction idiom
+	return n
+}
+
+func orderDependent(m map[uint64]int) ([]uint64, uint64) {
+	var keys []uint64
+	for k := range m { // want `map iteration order is randomized but this loop assigns to keys`
+		keys = append(keys, k)
+	}
+	var last uint64
+	for k := range m { // want `map iteration order is randomized but this loop assigns to last`
+		last = k
+	}
+	return keys, last
+}
+
+func orderDependentReturn(m map[uint64]int) uint64 {
+	for k, v := range m { // want `map iteration order is randomized but this loop returns a value derived from the iteration variables`
+		if v > 0 {
+			return k
+		}
+	}
+	return 0
+}
+
+func emitsInOrder(m map[uint64]int, emit func(uint64)) {
+	for k := range m { // want `map iteration order is randomized but this loop calls emit`
+		emit(k)
+	}
+}
+
+func orderFree(m map[uint64]int, out map[uint64]int) int {
+	total := 0
+	for _, v := range m { // ok: commutative accumulation
+		total += v
+	}
+	for k, v := range m { // ok: writes keyed by the iteration key
+		out[k] = v
+	}
+	for k := range m { // ok: deleting from the ranged map
+		delete(m, k)
+	}
+	return total
+}
+
+func allowedCollect(m map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	//zbp:allow determinism keys are sorted by the caller before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//zbp:allow determinism stale escape hatch // want `unused //zbp:allow determinism`
+func nothingToAllow() int { return 1 }

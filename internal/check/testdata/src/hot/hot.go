@@ -1,0 +1,104 @@
+// Package hot is the hotalloc-analyzer fixture: allocating constructs
+// inside //zbp:hotpath functions are flagged; the same constructs in
+// unannotated functions are not.
+package hot
+
+import "fmt"
+
+type state struct {
+	buf []int
+	n   int
+}
+
+//zbp:hotpath
+func (s *state) growInPlace(v int) {
+	s.buf = append(s.buf, v) // ok: x = append(x, ...) amortizes into the buffer
+	s.n += v
+}
+
+//zbp:hotpath
+func (s *state) reuseBacking() {
+	s.buf = append(s.buf[:0], 1, 2, 3) // ok: reslice of the same backing array
+}
+
+//zbp:hotpath
+func growsOther(dst, src []int) []int {
+	dst = append(dst, 1)  // ok
+	out := append(src, 1) // want `appends into a different slice than it grows`
+	return out
+}
+
+//zbp:hotpath
+func concat(a, b string) string {
+	return a + b // want `concatenates strings`
+}
+
+//zbp:hotpath
+func constConcat() string {
+	return "a" + "b" // ok: folded to a constant at compile time
+}
+
+//zbp:hotpath
+func toString(b []byte) string {
+	return string(b) // want `converts to string`
+}
+
+//zbp:hotpath
+func builders(n int) {
+	m := make(map[int]int, n) // want `calls make`
+	_ = m
+	p := new(int) // want `calls new`
+	_ = p
+	fmt.Println("fixed") // want `calls fmt.Println`
+}
+
+//zbp:hotpath
+func literals() {
+	s := []int{1, 2} // want `builds a slice literal`
+	_ = s
+	m := map[int]int{1: 2} // want `builds a map literal`
+	_ = m
+	p := &state{} // want `takes the address of a composite literal`
+	_ = p
+	v := state{} // ok: value struct literal stays on the stack
+	_ = v
+}
+
+//zbp:hotpath
+func closure() func() {
+	return func() {} // want `declares a function literal`
+}
+
+func helper() {}
+
+//zbp:hotpath
+func control() {
+	defer helper() // want `defers a call`
+	go helper()    // want `starts a goroutine`
+}
+
+//zbp:hotpath
+func boxing(v int, p *state) {
+	var i interface{}
+	i = v // want `converts non-pointer int to interface`
+	i = p // ok: pointers box without copying to the heap
+	_ = i
+}
+
+//zbp:hotpath
+func lazyInit(s *state) {
+	if s.buf == nil {
+		//zbp:allow hotalloc one-time lazy initialization, amortized to zero
+		s.buf = make([]int, 0, 64)
+	}
+}
+
+// cold is unannotated: the same constructs draw no diagnostics.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	fmt.Println(n)
+	return append(out, n)
+}
+
+//zbp:allow hotalloc stale escape hatch // want `unused //zbp:allow hotalloc`
+func nothingToAllow() int { return 1 }

@@ -1,0 +1,30 @@
+// Package metrics is the obsreg-analyzer fixture: every obs metric
+// field declared in a struct must reach a Registry method by address.
+package metrics
+
+import "obs"
+
+type counters struct {
+	hits    obs.Counter
+	misses  obs.Counter // want `metric field counters.misses \(obs.Counter\) is never registered`
+	depth   obs.Gauge
+	stale   obs.Gauge // want `metric field counters.stale \(obs.Gauge\) is never registered`
+	lat     obs.Histogram
+	scratch obs.Counter //zbp:allow obsreg test-only scratch counter, never exported
+}
+
+type tracker struct {
+	met counters
+}
+
+// RegisterMetrics wires the counters into the registry; misses and
+// stale are deliberately omitted.
+func (t *tracker) RegisterMetrics(r *obs.Registry) {
+	r.Counter("hits_total", "ops", "demand hits", &t.met.hits)
+	r.Gauge("depth", "entries", "queue depth", &t.met.depth)
+	r.Histogram("latency_cycles", "cycles", "completion latency", &t.met.lat)
+	t.met.hits.Inc()
+}
+
+//zbp:allow obsreg stale escape hatch // want `unused //zbp:allow obsreg`
+func nothingToAllow() int { return 1 }

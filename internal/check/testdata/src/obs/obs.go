@@ -1,0 +1,29 @@
+// Package obs is a fixture stub mirroring the real
+// bulkpreload/internal/obs surface the obsreg analyzer recognizes
+// (matched by package-path last element). The analyzer skips the
+// package body itself.
+package obs
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge is a point-in-time level metric.
+type Gauge struct{ v int64 }
+
+// Histogram is a bucketed distribution metric.
+type Histogram struct{ buckets []int64 }
+
+// Registry enumerates metrics for snapshots and exporters.
+type Registry struct{}
+
+// Counter registers a counter by address.
+func (r *Registry) Counter(name, unit, help string, c *Counter) {}
+
+// Gauge registers a gauge by address.
+func (r *Registry) Gauge(name, unit, help string, g *Gauge) {}
+
+// Histogram registers a histogram by address.
+func (r *Registry) Histogram(name, unit, help string, h *Histogram) {}

@@ -1,0 +1,24 @@
+// Package other is a scope fixture: its path is neither a
+// determinism-critical name, a cmd path, nor "sim", so the determinism
+// and erring analyzers must report nothing here.
+package other
+
+import (
+	"errors"
+	"time"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func unchecked() int64 {
+	fallible() // out of erring scope: not cmd/ or sim
+	m := map[int]int{1: 2}
+	s := 0
+	var last int
+	for k := range m { // out of determinism scope
+		last = k
+		s += k
+	}
+	_ = last
+	return time.Now().Unix() + int64(s) // out of determinism scope
+}

@@ -1,0 +1,35 @@
+// Package sim is the erring-analyzer fixture: its path ends in "sim",
+// putting it in the analyzer's scope, and calls within the package
+// count as module-internal.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+func run() {
+	fallible()      // want `result of fallible contains an error that is silently discarded`
+	_ = fallible()  // want `error result of fallible is assigned to _`
+	v, _ := value() // want `error result of value is assigned to _`
+	_ = v
+	if err := fallible(); err != nil { // ok: handled
+		fmt.Println(err)
+	}
+	w, err := value() // ok: error bound to a variable
+	_, _ = w, err
+	fmt.Println("hello") // ok: stdlib calls are out of contract
+	//zbp:allow erring best-effort cleanup on shutdown
+	fallible()
+}
+
+func cleanup() {
+	defer fallible() // want `result of fallible contains an error that is silently discarded`
+}
+
+//zbp:allow erring stale escape hatch // want `unused //zbp:allow erring`
+func handled() error { return fallible() }

@@ -228,6 +228,8 @@ func (h *Hierarchy) History() *history.History { return &h.hist }
 // Advance applies all state transitions due by cycle now: surprise
 // installs whose write latency has elapsed, and BTB2 bulk-transfer row
 // reads whose data has arrived at the BTBP.
+//
+//zbp:hotpath
 func (h *Hierarchy) Advance(now uint64) {
 	// Drain due installs by compacting in place rather than re-slicing
 	// from the front: [1:] slicing walks the backing array forward and
@@ -266,6 +268,7 @@ func (h *Hierarchy) Advance(now uint64) {
 			if h.cfg.MultiBlockTransfer && hit.Entry.Target != 0 &&
 				!zaddr.SameBlock(hit.Entry.Addr, hit.Entry.Target) {
 				if h.crossRefs == nil {
+					//zbp:allow hotalloc one-time lazy init, amortized to zero in steady state
 					h.crossRefs = make(map[uint64]int)
 				}
 				h.crossRefs[zaddr.Block(hit.Entry.Target)]++
@@ -279,6 +282,8 @@ func (h *Hierarchy) Advance(now uint64) {
 // most referenced by just-transferred branch targets — the bounded
 // multi-block transfer of Section 6. Recently chased blocks are skipped
 // to keep chains from cycling.
+//
+//zbp:hotpath
 func (h *Hierarchy) maybeChase(now uint64) {
 	if !h.cfg.MultiBlockTransfer || len(h.crossRefs) == 0 {
 		return
@@ -288,8 +293,13 @@ func (h *Hierarchy) maybeChase(now uint64) {
 		return
 	}
 	best, bestN := uint64(0), 0
+	// The key-ordered tie-break makes this argmax a pure function of the
+	// map's contents: without it, equal reference counts let Go's
+	// randomized iteration order pick the chased block, which diverged
+	// checkpoint/resume runs.
+	//zbp:allow determinism argmax with key-ordered tie-break is order-independent
 	for blk, n := range h.crossRefs {
-		if n > bestN {
+		if n > bestN || (n == bestN && bestN > 0 && blk < best) {
 			best, bestN = blk, n
 		}
 	}
@@ -324,6 +334,8 @@ func (h *Hierarchy) maybeChase(now uint64) {
 // is dropped: the live copy carries fresher training than a (possibly
 // stale) BTB2 transfer or a redundant surprise install, and duplicates
 // would waste first-level capacity.
+//
+//zbp:hotpath
 func (h *Hierarchy) installBTBP(e btb.Entry, now uint64) {
 	if h.btb1.Contains(e.Addr) || h.btbp.Contains(e.Addr) {
 		return
@@ -376,6 +388,8 @@ func (h *Hierarchy) SearchLine(a zaddr.Addr, now uint64) (found, nt2 bool) {
 // hit the entry is moved into the BTB1 and the BTB1 victim cascades into
 // the BTBP and BTB2 per the configured policy. ok is false when the
 // branch misses the whole first level (a surprise branch).
+//
+//zbp:hotpath
 func (h *Hierarchy) Predict(a zaddr.Addr, now uint64) (Prediction, bool) {
 	h.Advance(now)
 	var (
@@ -427,6 +441,8 @@ func (h *Hierarchy) Predict(a zaddr.Addr, now uint64) (Prediction, bool) {
 
 // hitBufMRU reports whether branch a currently sits in the MRU way of its
 // BTB1 row.
+//
+//zbp:hotpath
 func (h *Hierarchy) hitBufMRU(a zaddr.Addr) bool {
 	h.hitBuf = h.btb1.LookupLine(a, h.hitBuf[:0])
 	for _, hit := range h.hitBuf {
@@ -440,6 +456,8 @@ func (h *Hierarchy) hitBufMRU(a zaddr.Addr) bool {
 // promote moves a BTBP entry into the BTB1 ("content is moved into the
 // BTB1 upon making a branch prediction from the BTBP"); the displaced
 // BTB1 victim is written into the BTBP and the BTB2.
+//
+//zbp:hotpath
 func (h *Hierarchy) promote(e btb.Entry, now uint64) {
 	h.btbp.Invalidate(e.Addr)
 	victim, evicted := h.btb1.Insert(e)
@@ -462,6 +480,8 @@ func (h *Hierarchy) promote(e btb.Entry, now uint64) {
 }
 
 // writeBTB2Victim writes a BTB1 victim into the BTB2 per policy.
+//
+//zbp:hotpath
 func (h *Hierarchy) writeBTB2Victim(victim btb.Entry) {
 	if h.btb2 == nil {
 		return
@@ -486,15 +506,20 @@ func (h *Hierarchy) writeBTB2Victim(victim btb.Entry) {
 // Resolve trains the hierarchy with the resolved outcome of branch in.
 // p must be the Prediction previously returned for this branch, or nil
 // for a surprise branch. now is the resolution (completion) cycle.
+//
+//zbp:hotpath
 func (h *Hierarchy) Resolve(in trace.Inst, p *Prediction, now uint64) {
-	defer h.hist.RecordPrediction(in.Addr, in.Taken)
 	if p != nil {
 		h.resolvePredicted(in, p)
-		return
+	} else {
+		h.resolveSurprise(in, now)
 	}
-	h.resolveSurprise(in, now)
+	// Recorded last: the training above must see the path history as it
+	// was when the branch predicted.
+	h.hist.RecordPrediction(in.Addr, in.Taken)
 }
 
+//zbp:hotpath
 func (h *Hierarchy) resolvePredicted(in trace.Inst, p *Prediction) {
 	e := p.Entry
 	dirWrong := p.Taken != in.Taken
@@ -528,6 +553,7 @@ func (h *Hierarchy) resolvePredicted(in trace.Inst, p *Prediction) {
 	}
 }
 
+//zbp:hotpath
 func (h *Hierarchy) resolveSurprise(in trace.Inst, now uint64) {
 	if h.sbht != nil {
 		h.sbht.Update(in.Addr, in.Taken)

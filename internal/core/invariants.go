@@ -21,7 +21,10 @@ import (
 func (h *Hierarchy) CheckInvariants() error {
 	btb1 := residencySet(h.btb1.Entries())
 	btbp := residencySet(h.btbp.Entries())
-	for a := range btb1 {
+	// Iterate the slice, not the set: on a multi-way violation the
+	// reported address is then the first in table order, not whichever
+	// key Go's randomized map iteration happened to yield.
+	for _, a := range h.btb1.Entries() {
 		if btbp[a] {
 			return fmt.Errorf("core: branch %#x resident in both BTB1 and BTBP", uint64(a))
 		}

@@ -99,12 +99,15 @@ func (t *Table) CountValid() int {
 	return n
 }
 
+//zbp:hotpath
 func tagOf(a zaddr.Addr) uint16 {
-	return uint16((uint64(a) >> 1) & ((1 << tagBits) - 1))
+	return uint16(zaddr.Halfword(a) & ((1 << tagBits) - 1))
 }
 
 // Lookup returns the path-correlated target for the branch at addr. ok is
 // false on tag mismatch, in which case the caller uses the BTB target.
+//
+//zbp:hotpath
 func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (target zaddr.Addr, ok bool) {
 	t.met.lookups.Inc()
 	e := &t.entries[h.CTBIndex(addr, len(t.entries))]
@@ -123,6 +126,8 @@ func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (target zaddr.Addr, 
 // the 64-bit target and 10 tag bits. Parity recovers by invalidation;
 // unprotected flips persist (a flipped target silently misdirects every
 // multi-target branch that hits this entry).
+//
+//zbp:hotpath
 func (t *Table) faultCheck(e *entry) {
 	bits, ok := t.inj.Strike()
 	if !ok {
@@ -134,7 +139,7 @@ func (t *Table) faultCheck(e *entry) {
 		return
 	}
 	if b := bits % (64 + tagBits); b < 64 {
-		e.target ^= 1 << b
+		e.target = zaddr.FlipBit(e.target, uint(b))
 	} else {
 		e.tag ^= 1 << (b - 64)
 	}
@@ -142,6 +147,8 @@ func (t *Table) faultCheck(e *entry) {
 }
 
 // Update trains the entry for the branch at addr with a resolved target.
+//
+//zbp:hotpath
 func (t *Table) Update(h *history.History, addr, target zaddr.Addr) {
 	e := &t.entries[h.CTBIndex(addr, len(t.entries))]
 	tag := tagOf(addr)

@@ -109,6 +109,7 @@ func (e *Engine) Checkpoint() *Checkpoint {
 		Core:             e.hier.State(),
 	}
 	ck.Seen = make([]uint64, 0, len(e.seen))
+	//zbp:allow determinism keys are sorted immediately after collection
 	for a := range e.seen {
 		ck.Seen = append(ck.Seen, uint64(a))
 	}

@@ -203,6 +203,8 @@ func NewInjector(name string, perM float64, p Protection, seed uint64, record bo
 // rearm restores the power-on arrival schedule. The seed is run through
 // a splitmix64 round so that near-identical seeds still yield unrelated
 // streams (a plain `seed | 1` would collapse even/odd seed pairs).
+//
+//zbp:hotpath
 func (j *Injector) rearm() {
 	z := j.seed ^ 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -219,6 +221,8 @@ func (j *Injector) rearm() {
 }
 
 // rand steps the xorshift64* generator.
+//
+//zbp:hotpath
 func (j *Injector) rand() uint64 {
 	x := j.rng
 	x ^= x << 13
@@ -231,6 +235,8 @@ func (j *Injector) rand() uint64 {
 // advance schedules the next strike a geometric gap away: inter-arrival
 // for a per-read probability p, sampled by inversion from one uniform
 // draw. Rates at or above one fault per read strike every read.
+//
+//zbp:hotpath
 func (j *Injector) advance() {
 	p := j.perM / 1e6
 	if p >= 1 {
@@ -253,6 +259,8 @@ func (j *Injector) advance() {
 // Strike observes one read of a valid entry and reports whether a fault
 // strikes it. On a strike it returns random bits the structure uses to
 // pick which stored bit flips. Nil receivers never strike.
+//
+//zbp:hotpath
 func (j *Injector) Strike() (bits uint64, ok bool) {
 	if j == nil {
 		return 0, false
@@ -271,11 +279,15 @@ func (j *Injector) Strike() (bits uint64, ok bool) {
 }
 
 // Parity reports whether the injector models a parity-protected array.
+//
+//zbp:hotpath
 func (j *Injector) Parity() bool { return j != nil && j.protection == Parity }
 
 // NoteRecovered counts a parity detection and its recovery-by-
 // invalidation. The structure calls it after dropping the entry, so
 // detections and recoveries advance together.
+//
+//zbp:hotpath
 func (j *Injector) NoteRecovered() {
 	if j == nil {
 		return
@@ -285,6 +297,8 @@ func (j *Injector) NoteRecovered() {
 }
 
 // NoteSilent counts an undetected corruption applied to the array.
+//
+//zbp:hotpath
 func (j *Injector) NoteSilent() {
 	if j == nil {
 		return

@@ -100,6 +100,8 @@ func (t *Table) CountValid() int {
 // Lookup checks whether the taken branch at addr has a FIT entry whose
 // stored re-index address equals next. Only such confirmed hits earn the
 // accelerated 2-cycle re-index; mismatches are counted as stale.
+//
+//zbp:hotpath
 func (t *Table) Lookup(addr, next zaddr.Addr) bool {
 	t.met.lookups.Inc()
 	for i := range t.entries {
@@ -119,6 +121,8 @@ func (t *Table) Lookup(addr, next zaddr.Addr) bool {
 
 // Train records that the taken branch at addr redirected the search to
 // next, installing or refreshing its FIT entry.
+//
+//zbp:hotpath
 func (t *Table) Train(addr, next zaddr.Addr) {
 	for i := range t.entries {
 		e := &t.entries[i]
@@ -135,6 +139,8 @@ func (t *Table) Train(addr, next zaddr.Addr) {
 }
 
 // promote moves slot to MRU.
+//
+//zbp:hotpath
 func (t *Table) promote(slot int) {
 	pos := 0
 	for ; pos < len(t.lru); pos++ {

@@ -36,6 +36,8 @@ type Snapshot struct{ h History }
 
 // RecordPrediction shifts a predicted direction into the history; for
 // taken predictions the branch's instruction address is also recorded.
+//
+//zbp:hotpath
 func (h *History) RecordPrediction(addr zaddr.Addr, taken bool) {
 	h.dirs <<= 1
 	if taken {
@@ -83,6 +85,8 @@ func (h *History) RestoreState(s State) {
 func (h *History) Reset() { *h = History{} }
 
 // fold XOR-folds a 64-bit value down to width bits.
+//
+//zbp:hotpath
 func fold(v uint64, width uint) uint64 {
 	var out uint64
 	for v != 0 {
@@ -94,6 +98,8 @@ func fold(v uint64, width uint) uint64 {
 
 // recentTaken returns the i-th most recent taken address (i = 0 is the
 // newest); ok is false when fewer than i+1 taken branches have occurred.
+//
+//zbp:hotpath
 func (h *History) recentTaken(i int) (zaddr.Addr, bool) {
 	if i >= h.count {
 		return 0, false
@@ -106,15 +112,17 @@ func (h *History) recentTaken(i int) (zaddr.Addr, bool) {
 // table of the given size (power of two). The index mixes the branch
 // address with the 12-direction history and the 6 most recent
 // taken-branch addresses, each rotated by age so that path order matters.
+//
+//zbp:hotpath
 func (h *History) PHTIndex(addr zaddr.Addr, entries int) int {
 	width := log2(entries)
-	v := fold(uint64(addr)>>1, width) ^ uint64(h.dirs)
+	v := fold(zaddr.Halfword(addr), width) ^ uint64(h.dirs)
 	for i := 0; i < PHTAddrDepth; i++ {
 		a, ok := h.recentTaken(i)
 		if !ok {
 			break
 		}
-		v ^= rotl(fold(uint64(a)>>1, width), uint(i+1), width)
+		v ^= rotl(fold(zaddr.Halfword(a), width), uint(i+1), width)
 	}
 	return int(v & uint64(entries-1))
 }
@@ -122,15 +130,17 @@ func (h *History) PHTIndex(addr zaddr.Addr, entries int) int {
 // CTBIndex computes the CTB congruence class for the branch at addr: the
 // path of the 12 previous taken-branch addresses, mixed with the branch
 // address.
+//
+//zbp:hotpath
 func (h *History) CTBIndex(addr zaddr.Addr, entries int) int {
 	width := log2(entries)
-	v := fold(uint64(addr)>>1, width)
+	v := fold(zaddr.Halfword(addr), width)
 	for i := 0; i < TakenAddrDepth; i++ {
 		a, ok := h.recentTaken(i)
 		if !ok {
 			break
 		}
-		v ^= rotl(fold(uint64(a)>>1, width), uint(i+1), width)
+		v ^= rotl(fold(zaddr.Halfword(a), width), uint(i+1), width)
 	}
 	return int(v & uint64(entries-1))
 }
@@ -141,6 +151,7 @@ func (h *History) DirBits() uint16 { return h.dirs }
 // TakenDepthUsed returns how many taken addresses are currently recorded.
 func (h *History) TakenDepthUsed() int { return h.count }
 
+//zbp:hotpath
 func rotl(v uint64, by, width uint) uint64 {
 	by %= width
 	mask := uint64(1)<<width - 1

@@ -103,13 +103,16 @@ func (t *Table) CountValid() int {
 	return n
 }
 
+//zbp:hotpath
 func tagOf(a zaddr.Addr) uint16 {
-	return uint16((uint64(a) >> 1) & ((1 << tagBits) - 1))
+	return uint16(zaddr.Halfword(a) & ((1 << tagBits) - 1))
 }
 
 // Lookup returns the PHT's direction for the branch at addr under the
 // given path history. ok is false on a tag mismatch or invalid entry, in
 // which case the caller falls back to the BTB's bimodal direction.
+//
+//zbp:hotpath
 func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (taken bool, ok bool) {
 	t.met.lookups.Inc()
 	e := &t.entries[h.PHTIndex(addr, len(t.entries))]
@@ -128,6 +131,8 @@ func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (taken bool, ok bool
 // 10 tag bits and the 2-bit direction counter. Parity recovers by
 // invalidation; unprotected flips persist (a flipped tag silently
 // redirects the entry to an aliasing branch).
+//
+//zbp:hotpath
 func (t *Table) faultCheck(e *entry) {
 	bits, ok := t.inj.Strike()
 	if !ok {
@@ -149,6 +154,8 @@ func (t *Table) faultCheck(e *entry) {
 // Update trains the entry for the branch at addr with a resolved
 // direction. On tag mismatch the entry is stolen (retagged and
 // re-initialized) — small tagged predictors reallocate on miss.
+//
+//zbp:hotpath
 func (t *Table) Update(h *history.History, addr zaddr.Addr, taken bool) {
 	e := &t.entries[h.PHTIndex(addr, len(t.entries))]
 	tag := tagOf(addr)

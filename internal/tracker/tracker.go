@@ -195,6 +195,8 @@ func (t *Trackers) RegisterMetrics(r *obs.Registry, prefix string) {
 }
 
 // ActiveSearches returns the number of trackers with a search in flight.
+//
+//zbp:hotpath
 func (t *Trackers) ActiveSearches(now uint64) int {
 	n := 0
 	for i := range t.slots {
@@ -210,6 +212,8 @@ func (t *Trackers) ActiveSearches(now uint64) int {
 // partial search completing without an I-cache miss invalidates its
 // tracker; with one, the tracker upgrades (handled in OnICacheMiss, but a
 // late reap here catches the already-upgraded full searches too).
+//
+//zbp:hotpath
 func (t *Trackers) reap(now uint64) {
 	for i := range t.slots {
 		s := &t.slots[i]

@@ -7,6 +7,11 @@
 // convention and map directly onto the helpers here.
 package zaddr
 
+import (
+	"fmt"
+	"math/bits"
+)
+
 // Addr is a 64-bit instruction address.
 type Addr uint64
 
@@ -31,7 +36,7 @@ const (
 // MSB) from a. For example Bits(a, 49, 58) yields the 10-bit BTB1 index.
 func Bits(a Addr, hi, lo uint) uint64 {
 	if hi > lo || lo > 63 {
-		panic("zaddr: invalid bit range")
+		panic(fmt.Sprintf("zaddr: invalid bit range %d:%d (want big-endian hi <= lo <= 63)", hi, lo))
 	}
 	width := lo - hi + 1
 	shift := 63 - lo
@@ -46,7 +51,7 @@ func Bits(a Addr, hi, lo uint) uint64 {
 // compose addresses field-by-field.
 func SetBits(a Addr, hi, lo uint, v uint64) Addr {
 	if hi > lo || lo > 63 {
-		panic("zaddr: invalid bit range")
+		panic(fmt.Sprintf("zaddr: invalid bit range %d:%d (want big-endian hi <= lo <= 63)", hi, lo))
 	}
 	width := lo - hi + 1
 	shift := 63 - lo
@@ -108,3 +113,33 @@ func Align(a Addr, n uint64) Addr {
 	}
 	return a &^ Addr(n-1)
 }
+
+// Halfword returns a as a halfword count (a >> 1). z instruction
+// addresses are 2-byte aligned, so bit 63 carries no information; table
+// index and tag hashes drop it before mixing.
+func Halfword(a Addr) uint64 { return uint64(a) >> 1 }
+
+// OffsetWithin returns a's byte offset inside the aligned power-of-two
+// region of the given size that contains it. It generalizes RowOffset /
+// BlockOffset to configurable granules (cache lines, BTB row coverage).
+func OffsetWithin(a Addr, size uint64) uint64 {
+	if size == 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("zaddr: OffsetWithin size %d must be a power of two", size))
+	}
+	return uint64(a) & (size - 1)
+}
+
+// ChunkIndex returns the index of the size-byte aligned chunk holding a
+// within an unbounded address space (a / size, size a power of two). It
+// generalizes RowIndex / Block to configurable granules.
+func ChunkIndex(a Addr, size uint64) uint64 {
+	if size == 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("zaddr: ChunkIndex size %d must be a power of two", size))
+	}
+	return uint64(a) >> uint(bits.TrailingZeros64(size))
+}
+
+// FlipBit returns a with little-endian bit b (0 = LSB, the convention
+// hardware fault models use for payload words) inverted. It is the
+// single-event-upset primitive for the fault injectors.
+func FlipBit(a Addr, b uint) Addr { return a ^ Addr(uint64(1)<<(b&63)) }

@@ -1,0 +1,101 @@
+// Package analysis defines the interface between a modular static
+// analysis and an analysis driver program.
+//
+// This vendored copy is an offline, API-compatible subset of
+// golang.org/x/tools/go/analysis sufficient for the zbpcheck suite: the
+// Analyzer/Pass/Diagnostic contract and suggested fixes. It omits
+// facts, the Requires graph, and the upstream drivers (this module
+// ships its own loader in internal/check/load and its own fixture
+// harness in internal/check/analysistest). Analyzers written against
+// this package compile unmodified against the upstream module; see
+// docs/STATIC_ANALYSIS.md for why the subset is vendored.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// An Analyzer describes an analysis function and its options.
+type Analyzer struct {
+	// Name of the analyzer. It must be a valid Go identifier, as it
+	// may appear in command-line flags, URLs, and so on.
+	Name string
+
+	// Doc is the documentation for the analyzer. The first sentence is
+	// its one-line summary.
+	Doc string
+
+	// URL holds an optional link to a web page with additional
+	// documentation for this analyzer.
+	URL string
+
+	// Run applies the analyzer to a package. It returns an error if
+	// the analysis failed (distinct from reporting diagnostics).
+	Run func(*Pass) (interface{}, error)
+
+	// RunDespiteErrors allows the driver to invoke the analyzer even
+	// on a package that contains type errors.
+	RunDespiteErrors bool
+
+	// Requires is the set of analyses this one depends on. The
+	// zbpcheck analyzers are self-contained, so the local driver
+	// requires this to be empty.
+	Requires []*Analyzer
+
+	// ResultType is the type of the optional result of the Run
+	// function.
+	ResultType reflect.Type
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides information to the Run function that applies a
+// specific analyzer to a single Go package. The Run function should
+// not call any of the Pass functions concurrently.
+type Pass struct {
+	Analyzer *Analyzer // the identity of the current analyzer
+
+	// syntax and type information
+	Fset       *token.FileSet // file position information
+	Files      []*ast.File    // the abstract syntax tree of each file
+	OtherFiles []string       // names of non-Go files of this package
+	Pkg        *types.Package // type information about the package
+	TypesInfo  *types.Info    // type information about the syntax trees
+	TypesSizes types.Sizes    // function for computing sizes of types
+
+	// Report reports a Diagnostic, a finding about a specific location
+	// in the analyzed source code.
+	Report func(Diagnostic)
+
+	// ResultOf provides the inputs to this analysis that are required
+	// by the Requires field.
+	ResultOf map[*Analyzer]interface{}
+}
+
+// Reportf is a helper function that reports a Diagnostic using the
+// specified position and formatted error message.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	pass.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// A Range provides the extent of a syntax node or other source region.
+type Range interface {
+	Pos() token.Pos // position of first character belonging to the node
+	End() token.Pos // position of first character immediately after the node
+}
+
+// ReportRangef is a helper function that reports a Diagnostic using
+// the range provided. ast.Node values can be passed in as the range.
+func (pass *Pass) ReportRangef(rng Range, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	pass.Report(Diagnostic{Pos: rng.Pos(), End: rng.End(), Message: msg})
+}
+
+func (pass *Pass) String() string {
+	return fmt.Sprintf("%s@%s", pass.Analyzer.Name, pass.Pkg.Path())
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import "go/token"
+
+// A Diagnostic is a message associated with a source location or
+// range. An Analyzer may return a variety of diagnostics; the optional
+// Category, which should be a constant, may be used to classify them.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional
+	Category string    // optional
+	Message  string
+
+	// URL is the optional location of a web page that provides
+	// additional documentation for this diagnostic.
+	URL string
+
+	// SuggestedFixes is an optional list of fixes to address the
+	// problem described by the diagnostic. Each one represents an
+	// alternative strategy; at most one may be applied.
+	SuggestedFixes []SuggestedFix
+
+	// Related contains optional secondary positions and messages
+	// related to the primary diagnostic.
+	Related []RelatedInformation
+}
+
+// RelatedInformation contains information related to a diagnostic.
+// For example, a diagnostic that flags duplicated declarations of a
+// variable may include one RelatedInformation per existing
+// declaration.
+type RelatedInformation struct {
+	Pos     token.Pos
+	End     token.Pos // optional
+	Message string
+}
+
+// A SuggestedFix is a code change associated with a Diagnostic that a
+// user can choose to apply to their code. Usually the SuggestedFix is
+// meant to fix the issue flagged by the diagnostic.
+type SuggestedFix struct {
+	// A verb phrase describing the fix, to be shown to a user trying
+	// to decide whether to apply it.
+	Message string
+
+	// TextEdits for this fix. Edits should not overlap, nor contain
+	// edits for other packages.
+	TextEdits []TextEdit
+}
+
+// A TextEdit represents the replacement of the code between Pos and
+// End with the new text. Pos and End positions must be within the
+// same file.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
