@@ -1,0 +1,268 @@
+package bulkpreload_test
+
+// Parallel-pipeline engineering benchmarks: the BTB2 capacity sweep run
+// through the serial oracle and through the work-stealing batched
+// scheduler, plus the zero-alloc batch decoder in isolation. The
+// flag-gated TestEmitParallelBenchJSON packages the same measurements
+// as a machine-readable report:
+//
+//	go test -run TestEmitParallelBenchJSON -parallel-bench-out BENCH_parallel.json
+//
+// reporting records/sec for both paths, the parallel speedup, decoder
+// throughput and steady-state allocations, and the scheduler's
+// work-stealing accounting — with a differential check folded in so a
+// "fast" report can never come from a diverged pipeline.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/engine"
+	"bulkpreload/internal/sim"
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/workload"
+)
+
+var parallelBenchOut = flag.String("parallel-bench-out", "",
+	"write the parallel pipeline benchmark report as JSON to this file (empty = skip)")
+
+// capacitySweepUnits is the workload the parallel pipeline exists for:
+// a Figure 5-style BTB2 capacity sweep, expressed as independent
+// (config, trace) units. Base runs appear once per profile, exactly as
+// sim.SweepBTB2Size dedups them.
+func capacitySweepUnits() []sim.Unit {
+	params := benchParams()
+	rowCounts := []int{512, 1024, 2048, 4096, 8192}
+	var units []sim.Unit
+	for _, p := range benchSweepProfiles() {
+		units = append(units, sim.ProfileUnit(p, core.OneLevelConfig(), params, "base"))
+		for _, rows := range rowCounts {
+			cfg := core.DefaultConfig()
+			cfg.BTB2 = sim.BTB2Geometry(rows)
+			units = append(units, sim.ProfileUnit(p, cfg, params, fmt.Sprintf("btb2-%drows", rows)))
+		}
+	}
+	return units
+}
+
+func totalInstructions(res []engine.Result) int64 {
+	var n int64
+	for i := range res {
+		n += res[i].Instructions
+	}
+	return n
+}
+
+// BenchmarkCapacitySweepSerialOracle is the single-threaded
+// record-at-a-time reference path over the capacity sweep.
+func BenchmarkCapacitySweepSerialOracle(b *testing.B) {
+	units := capacitySweepUnits()
+	b.ResetTimer()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunUnitsSerial(units)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = totalInstructions(res)
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkCapacitySweepParallel is the same sweep through the
+// work-stealing batched pipeline at GOMAXPROCS workers.
+func BenchmarkCapacitySweepParallel(b *testing.B) {
+	units := capacitySweepUnits()
+	ctx := context.Background()
+	b.ResetTimer()
+	var insts, steals int64
+	for i := 0; i < b.N; i++ {
+		res, stats, err := sim.RunUnitsStats(ctx, 0, units)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = totalInstructions(res)
+		steals += stats.Steals
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+}
+
+// encodeBenchTrace serializes a generated workload to the ZBPT wire
+// format in memory, returning the encoded bytes.
+func encodeBenchTrace(tb testing.TB, insts int) []byte {
+	tb.Helper()
+	prof, err := workload.ByName("zos-daytrader-dbserv", insts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.Write(&buf, workload.New(prof)); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkBatchDecode measures the bulk decoder's steady-state
+// throughput and allocations per batch over an in-memory ZBPT stream.
+// Each op is one full batch; the decoder rewind at EOF happens with the
+// timer (and alloc accounting) stopped, so the reported allocs/op is
+// the hot-path figure the zero-alloc gate pins at 0.
+func BenchmarkBatchDecode(b *testing.B) {
+	data := encodeBenchTrace(b, 200_000)
+	br := bytes.NewReader(data)
+	dec, err := trace.NewBatchDecoder(br, trace.DefaultBatchCapacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := trace.NewBatch(trace.DefaultBatchCapacity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var records int64
+	for i := 0; i < b.N; i++ {
+		err := dec.Next(&batch)
+		if err == io.EOF {
+			b.StopTimer()
+			if _, err := br.Seek(0, io.SeekStart); err != nil {
+				b.Fatal(err)
+			}
+			if dec, err = trace.NewBatchDecoder(br, trace.DefaultBatchCapacity); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			err = dec.Next(&batch)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		records += int64(len(batch.Ins))
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/s")
+}
+
+// parallelBenchReport is the BENCH_parallel.json schema.
+type parallelBenchReport struct {
+	GeneratedAt           string  `json:"generated_at"`
+	GOMAXPROCS            int     `json:"gomaxprocs"`
+	Workers               int     `json:"workers"`
+	Units                 int     `json:"units"`
+	Steals                int64   `json:"steals"`
+	Records               int64   `json:"records"`
+	SerialSeconds         float64 `json:"serial_seconds"`
+	ParallelSeconds       float64 `json:"parallel_seconds"`
+	SerialRecordsPerSec   float64 `json:"serial_records_per_sec"`
+	ParallelRecordsPerSec float64 `json:"parallel_records_per_sec"`
+	Speedup               float64 `json:"speedup"`
+	DecodeRecordsPerSec   float64 `json:"decode_records_per_sec"`
+	DecodeAllocsPerBatch  float64 `json:"decode_allocs_per_batch"`
+	DifferentialMismatch  int     `json:"differential_mismatches"`
+}
+
+// TestEmitParallelBenchJSON runs the capacity sweep through both paths
+// once, cross-checks them with the differential comparator, measures
+// decoder throughput and steady-state allocations, and writes the
+// whole report to -parallel-bench-out. Skipped unless the flag is set,
+// so the ordinary test run stays fast and file-free.
+func TestEmitParallelBenchJSON(t *testing.T) {
+	if *parallelBenchOut == "" {
+		t.Skip("pass -parallel-bench-out=BENCH_parallel.json to emit the report")
+	}
+	units := capacitySweepUnits()
+	ctx := context.Background()
+
+	start := time.Now()
+	serial, err := sim.RunUnitsSerial(units)
+	if err != nil {
+		t.Fatalf("serial oracle failed: %v", err)
+	}
+	serialSec := time.Since(start).Seconds()
+
+	start = time.Now()
+	parallel, stats, err := sim.RunUnitsStats(ctx, 0, units)
+	if err != nil {
+		t.Fatalf("parallel pipeline failed: %v", err)
+	}
+	parallelSec := time.Since(start).Seconds()
+
+	mismatches := 0
+	for i := range units {
+		for _, d := range sim.DiffResults(units[i].Label, serial[i], parallel[i]) {
+			t.Error(d)
+			mismatches++
+		}
+	}
+
+	// Decoder throughput: one full pass over an in-memory stream.
+	data := encodeBenchTrace(t, 200_000)
+	dec, err := trace.NewBatchDecoder(bytes.NewReader(data), trace.DefaultBatchCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := trace.NewBatch(trace.DefaultBatchCapacity)
+	var decoded int64
+	start = time.Now()
+	for {
+		err := dec.Next(&batch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded += int64(len(batch.Ins))
+	}
+	decodeSec := time.Since(start).Seconds()
+
+	// Steady-state decoder allocations: one decoder over a stream long
+	// enough that the measured runs never hit EOF.
+	const allocRuns = 20
+	allocCap := 64
+	allocData := encodeBenchTrace(t, 4*allocRuns*allocCap)
+	adec, err := trace.NewBatchDecoder(bytes.NewReader(allocData), allocCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abatch := trace.NewBatch(allocCap)
+	allocs := testing.AllocsPerRun(allocRuns, func() {
+		if err := adec.Next(&abatch); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	rep := parallelBenchReport{
+		GeneratedAt:           time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:            runtime.GOMAXPROCS(0),
+		Workers:               stats.Workers,
+		Units:                 stats.Units,
+		Steals:                stats.Steals,
+		Records:               totalInstructions(serial),
+		SerialSeconds:         serialSec,
+		ParallelSeconds:       parallelSec,
+		SerialRecordsPerSec:   float64(totalInstructions(serial)) / serialSec,
+		ParallelRecordsPerSec: float64(totalInstructions(parallel)) / parallelSec,
+		Speedup:               serialSec / parallelSec,
+		DecodeRecordsPerSec:   float64(decoded) / decodeSec,
+		DecodeAllocsPerBatch:  allocs,
+		DifferentialMismatch:  mismatches,
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*parallelBenchOut, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.0f records/s serial, %.0f records/s parallel (%.2fx, %d workers, %d steals), decode %.0f records/s at %.1f allocs/batch",
+		*parallelBenchOut, rep.SerialRecordsPerSec, rep.ParallelRecordsPerSec,
+		rep.Speedup, rep.Workers, rep.Steals, rep.DecodeRecordsPerSec, allocs)
+}

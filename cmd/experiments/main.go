@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ func main() {
 		insts = flag.Int("insts", workload.DefaultInstructions, "dynamic instructions per trace")
 		list  = flag.Bool("list", false, "list experiment names and exit")
 	)
+	flag.IntVar(&workers, "workers", 0, "worker count for the diffgate experiment (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	all := []struct {
@@ -60,6 +62,7 @@ func main() {
 		{"btbpsize", btbpSize},
 		{"installdelay", installDelay},
 		{"faults", faults},
+		{"diffgate", diffgate},
 	}
 	if *list {
 		for _, e := range all {
@@ -82,6 +85,44 @@ func main() {
 		e.run(*insts)
 		fmt.Printf("  [%s took %.1fs]\n\n", e.name, time.Since(start).Seconds())
 	}
+}
+
+// workers is the -workers flag: the parallel worker count the diffgate
+// experiment runs against its serial oracle.
+var workers int
+
+// diffgate runs the serial-oracle differential gate outside the test
+// suite: every Table 4 trace under every Table 3 configuration, run
+// once single-threaded and once through the work-stealing batched
+// pipeline, demanding bit-identical observability snapshots. Exits
+// non-zero on any divergence, so it slots into release scripts.
+func diffgate(insts int) {
+	fmt.Println("Differential gate: serial oracle vs work-stealing batched pipeline")
+	params := engine.DefaultParams()
+	names := []string{sim.ConfigNoBTB2, sim.ConfigBTB2, sim.ConfigLargeL1}
+	cfgs := sim.Table3()
+	var units []sim.Unit
+	for _, p := range workload.Table4Profiles(insts) {
+		for _, name := range names {
+			units = append(units, sim.ProfileUnit(p, cfgs[name], params, name))
+		}
+	}
+	start := time.Now()
+	mismatches, err := sim.VerifyDifferential(context.Background(), workers, units)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: diffgate: %v\n", err)
+		os.Exit(1)
+	}
+	if len(mismatches) > 0 {
+		for _, m := range mismatches {
+			fmt.Fprintln(os.Stderr, " ", m)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: diffgate: %d mismatches across %d units\n",
+			len(mismatches), len(units))
+		os.Exit(1)
+	}
+	fmt.Printf("  %d units (13 traces x 3 configs) bit-identical across both paths in %.1fs\n",
+		len(units), time.Since(start).Seconds())
 }
 
 // must unwraps a (value, error) study result; any shard failure aborts

@@ -14,10 +14,14 @@
 //	zsim -config btb2 -checkpoint run.ckpt -checkpoint-every 500000
 //	zsim -config btb2 -resume run.ckpt                # continue after a crash
 //	zsim -file damaged.zbpt -salvage                  # use the valid prefix
+//	zsim -file huge.zbpt -stream                      # constant-memory decode
+//	zsim -config btb2 -batch                          # batched zero-alloc pipeline
+//	zsim -compare -workers 0                          # fan configs across cores
 //	zsim -list
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -62,6 +66,10 @@ func main() {
 		ckptEvery = flag.Int64("checkpoint-every", 1_000_000, "instructions between checkpoints (with -checkpoint)")
 		resume    = flag.String("resume", "", "resume the simulation from this checkpoint file")
 		salvage   = flag.Bool("salvage", false, "with -file: tolerate a truncated/corrupt trace tail, simulating the valid prefix")
+
+		workers = flag.Int("workers", 1, "with -compare: fan the three configurations across this many workers (0 = GOMAXPROCS)")
+		batched = flag.Bool("batch", false, "drive the engine through the batched zero-alloc pipeline (bit-identical results; ignored with -resume)")
+		stream  = flag.Bool("stream", false, "with -file: stream the trace from disk through the bulk batch decoder in constant memory (tolerates a damaged tail like -salvage)")
 	)
 	flag.Parse()
 
@@ -99,11 +107,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	src, err := loadSource(*file, *traceName, *insts, *salvage)
+	if *stream && *file == "" {
+		fmt.Fprintln(os.Stderr, "zsim: -stream requires -file")
+		os.Exit(2)
+	}
+
+	src, err := loadSource(*file, *traceName, *insts, *salvage, *stream)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zsim:", err)
 		os.Exit(1)
 	}
+	// A streamed source holds the file open for the whole run; a damaged
+	// tail surfaces after the pass, like -salvage.
+	defer func() {
+		if fs, ok := src.(*trace.FileSource); ok {
+			if derr := fs.Err(); derr != nil {
+				fmt.Fprintln(os.Stderr, "zsim: stream salvage:", derr)
+			}
+			if cerr := fs.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "zsim: stream close:", cerr)
+			}
+		}
+	}()
 
 	if *compare {
 		params := engine.DefaultParams()
@@ -111,7 +136,7 @@ func main() {
 			params = engine.HardwareParams()
 		}
 		params.WarmupInstructions = *warmup
-		c := sim.Compare(src, params)
+		c := compareConfigs(src, params, *workers)
 		fmt.Println(c)
 		fmt.Printf("  CPI: %s %.4f | %s %.4f | %s %.4f\n",
 			sim.ConfigNoBTB2, c.Base.CPI(), sim.ConfigBTB2, c.BTB2.CPI(),
@@ -237,6 +262,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "zsim:", err)
 			os.Exit(1)
 		}
+	} else if *batched {
+		r = eng.RunBatched(src, *config)
 	} else {
 		r = eng.Run(src, *config)
 	}
@@ -304,8 +331,44 @@ func reconcile(what string, counts [core.NumEventKinds]int64, final *obs.Snapsho
 	}
 }
 
-func loadSource(file, traceName string, insts int, salvage bool) (trace.Source, error) {
+// compareConfigs runs the three Table 3 configurations. workers == 1
+// uses the serial path directly on src; any other count materializes
+// the trace once and fans the three runs across the work-stealing
+// scheduler (bit-identical results either way — the differential gate
+// in internal/sim pins that).
+func compareConfigs(src trace.Source, params engine.Params, workers int) sim.Comparison {
+	if workers == 1 {
+		return sim.Compare(src, params)
+	}
+	name := src.Name()
+	ins := trace.Collect(src)
+	unit := func(cfg core.Config, cfgName string) sim.Unit {
+		return sim.Unit{
+			Label:      name + "/" + cfgName,
+			NewSource:  func() trace.Source { return trace.NewSliceSource(name, ins) },
+			Config:     cfg,
+			Params:     params,
+			ConfigName: cfgName,
+		}
+	}
+	units := []sim.Unit{
+		unit(core.OneLevelConfig(), sim.ConfigNoBTB2),
+		unit(core.DefaultConfig(), sim.ConfigBTB2),
+		unit(core.LargeOneLevelConfig(), sim.ConfigLargeL1),
+	}
+	res, err := sim.RunUnits(context.Background(), workers, units)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsim:", err)
+		os.Exit(1)
+	}
+	return sim.Comparison{Trace: name, Base: res[0], BTB2: res[1], LargeBTB1: res[2]}
+}
+
+func loadSource(file, traceName string, insts int, salvage, stream bool) (trace.Source, error) {
 	if file != "" {
+		if stream {
+			return trace.OpenFileSource(file, trace.DefaultBatchCapacity)
+		}
 		if salvage {
 			src, diag, err := trace.ReadFileTolerant(file)
 			if err != nil {

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/predictor"
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/zaddr"
+)
+
+// Batched stepping: the engine's hot loop consumes whole record batches
+// instead of one Source.Next interface call per instruction, and
+// collapses runs of non-branch instructions whose per-record work
+// provably degenerates to counter and clock updates into a single bulk
+// update. The bulk conditions are exact — the differential gate in
+// internal/sim proves batched and record-at-a-time runs produce
+// bit-identical results, including full metric snapshots.
+
+// StepBatch processes a batch of committed instructions, equivalent to
+// calling step once per record. Runs of consecutive non-branch
+// instructions that satisfy stepBulkOK are applied in bulk: one
+// instruction-counter add, one clock add (Ticks are integer, so k adds
+// of DispatchTicks equal one add of k*DispatchTicks exactly), and one
+// batched steering observe.
+//
+//zbp:hotpath
+func (e *Engine) StepBatch(ins []trace.Inst) {
+	i := 0
+	for i < len(ins) {
+		j := i
+		for j < len(ins) && e.stepBulkOK(&ins[j], e.res.Instructions+int64(j-i)) {
+			j++
+		}
+		if j > i {
+			k := int64(j - i)
+			e.res.Instructions += k
+			e.clock += e.params.DispatchTicks * predictor.Ticks(k)
+			e.hier.ObserveCompleteBatch(ins[i:j])
+			i = j
+			continue
+		}
+		e.step(ins[i])
+		i++
+	}
+}
+
+// stepBulkOK reports whether in may take the bulk fast path: every side
+// effect of step must reduce to Instructions++, clock += DispatchTicks,
+// and ObserveComplete. insts is the virtual instruction count — the
+// value e.res.Instructions will hold when in is processed.
+//
+//zbp:hotpath
+func (e *Engine) stepBulkOK(in *trace.Inst, insts int64) bool {
+	if in.Kind != trace.NotBranch {
+		return false
+	}
+	// Counter-triggered side effects: checkpoints test the count before
+	// the increment, snapshots after it, and the warmup capture fires
+	// exactly at the boundary. None may fall inside a bulk run.
+	if e.nextCkpt > 0 && insts >= e.nextCkpt {
+		return false
+	}
+	if e.nextSnap > 0 && insts+1 >= e.nextSnap {
+		return false
+	}
+	if !e.warmTaken && e.params.WarmupInstructions > 0 && insts == e.params.WarmupInstructions {
+		return false
+	}
+	// fetch must be a same-line repeat (its early-return path).
+	if !e.haveFetch || zaddr.Align(in.Addr, uint64(e.params.L1I.LineBytes)) != e.curFetchLine {
+		return false
+	}
+	// advanceSearch must be a no-op: the committed path strictly behind
+	// the search position (no catch-up, no unblocking), and lookahead
+	// either blocked or already at its full lead.
+	if !e.haveSearch {
+		return false
+	}
+	target := zaddr.RowBase(in.Addr)
+	if e.searchLine <= target {
+		return false
+	}
+	if !e.searchBlocked && e.searchLine < target+leadRows*zaddr.RowBytes {
+		return false
+	}
+	return true
+}
+
+// RunBatched simulates src to completion under configName like Run, but
+// pulls instructions through a reusable batch (see trace.FillBatch) and
+// steps them with StepBatch. Results are bit-identical to Run on the
+// same source.
+func (e *Engine) RunBatched(src trace.Source, configName string) Result {
+	e.reset()
+	src.Reset()
+	e.res.Trace = src.Name()
+	e.res.Config = configName
+	b := trace.NewBatch(trace.DefaultBatchCapacity)
+	for trace.FillBatch(src, &b) > 0 {
+		e.StepBatch(b.Ins)
+	}
+	e.finishResult()
+	return e.res
+}
+
+// RunBatched is the package-level convenience: build an engine and run
+// one trace through the batched path.
+func RunBatched(src trace.Source, hcfg core.Config, params Params, configName string) Result {
+	return New(hcfg, params).RunBatched(src, configName)
+}

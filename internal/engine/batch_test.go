@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"testing"
+
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/obs"
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/workload"
+)
+
+// batchProfile is a workload small enough to run dozens of times in the
+// equivalence tests yet rich enough to exercise every step side effect
+// (surprises, transfers, search restarts).
+func batchProfile(seed int64) workload.Profile {
+	return workload.Profile{
+		Name: "batch-eq", UniqueBranches: 6_000, TakenFraction: 0.64,
+		Instructions: 60_000, HotFraction: 0.15, WindowFunctions: 32,
+		CallsPerTransaction: 6, Seed: seed,
+	}
+}
+
+// requireResultsEqual fails the test with a field-level report unless
+// the two results are bit-identical, including the final metric
+// snapshot and every interval snapshot.
+func requireResultsEqual(t *testing.T, label string, serial, batched Result) {
+	t.Helper()
+	sj, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, bj) {
+		t.Errorf("%s: result fields differ\n  serial:  %s\n  batched: %s", label, sj, bj)
+	}
+	if (serial.Metrics == nil) != (batched.Metrics == nil) {
+		t.Fatalf("%s: metrics present in one path only", label)
+	}
+	if serial.Metrics != nil {
+		for _, d := range obs.Diff(*serial.Metrics, *batched.Metrics) {
+			t.Errorf("%s: metrics: %s", label, d)
+		}
+	}
+	if len(serial.Snapshots) != len(batched.Snapshots) {
+		t.Fatalf("%s: snapshot count %d != %d", label, len(serial.Snapshots), len(batched.Snapshots))
+	}
+	for k := range serial.Snapshots {
+		for _, d := range obs.Diff(serial.Snapshots[k], batched.Snapshots[k]) {
+			t.Errorf("%s: interval snapshot %d: %s", label, k, d)
+		}
+	}
+}
+
+// TestRunBatchedMatchesRun proves the batched stepping path — including
+// the non-branch bulk fast path — is bit-identical to the
+// record-at-a-time loop, with warmup, interval snapshots, and
+// checkpoints all armed so every counter-triggered boundary lands
+// inside batches.
+func TestRunBatchedMatchesRun(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Params, *int)
+	}{
+		{"plain", func(p *Params, _ *int) {}},
+		{"warmup", func(p *Params, _ *int) { p.WarmupInstructions = 10_000 }},
+		{"snapshots", func(p *Params, _ *int) { p.SnapshotInterval = 7_000 }},
+		{"checkpoints", func(p *Params, ckpts *int) {
+			p.CheckpointInterval = 9_000
+			p.CheckpointSink = func(*Checkpoint) { *ckpts++ }
+		}},
+		{"everything", func(p *Params, ckpts *int) {
+			p.WarmupInstructions = 10_000
+			p.SnapshotInterval = 7_000
+			p.CheckpointInterval = 9_000
+			p.CheckpointSink = func(*Checkpoint) { *ckpts++ }
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, cfg := range []struct {
+				name string
+				c    core.Config
+			}{
+				{"one-level", core.OneLevelConfig()},
+				{"btb2", core.DefaultConfig()},
+			} {
+				serialCkpts, batchCkpts := 0, 0
+
+				params := DefaultParams()
+				params.WarmupInstructions = 0
+				tc.mutate(&params, &serialCkpts)
+				serial := New(cfg.c, params).Run(workload.New(batchProfile(4242)), cfg.name)
+
+				params = DefaultParams()
+				params.WarmupInstructions = 0
+				tc.mutate(&params, &batchCkpts)
+				batched := New(cfg.c, params).RunBatched(workload.New(batchProfile(4242)), cfg.name)
+
+				requireResultsEqual(t, tc.name+"/"+cfg.name, serial, batched)
+				if serialCkpts != batchCkpts {
+					t.Errorf("%s/%s: checkpoint count %d != %d", tc.name, cfg.name, serialCkpts, batchCkpts)
+				}
+			}
+		})
+	}
+}
+
+// TestStepBatchArbitrarySplits feeds the same trace through StepBatch in
+// deliberately awkward chunk sizes (1, primes, the full trace) and
+// demands the same answer every time — batch boundaries must be
+// invisible.
+func TestStepBatchArbitrarySplits(t *testing.T) {
+	params := DefaultParams()
+	params.WarmupInstructions = 10_000
+	params.SnapshotInterval = 7_000
+	ins := trace.Collect(workload.New(batchProfile(777)))
+
+	ref := New(core.DefaultConfig(), params).Run(trace.NewSliceSource("splits", ins), "btb2")
+
+	for _, chunk := range []int{1, 7, 97, 1024, len(ins)} {
+		e := New(core.DefaultConfig(), params)
+		e.reset()
+		e.res.Trace, e.res.Config = "splits", "btb2"
+		for lo := 0; lo < len(ins); lo += chunk {
+			hi := lo + chunk
+			if hi > len(ins) {
+				hi = len(ins)
+			}
+			e.StepBatch(ins[lo:hi])
+		}
+		e.finishResult()
+		requireResultsEqual(t, "chunk="+strconv.Itoa(chunk), ref, e.res)
+	}
+}
+
+// TestBulkFastPathFires measures how often stepBulkOK accepts on a real
+// workload: equivalence proofs are vacuous if the fast path never
+// fires, so a workload with sequential non-branch runs must show hits.
+func TestBulkFastPathFires(t *testing.T) {
+	params := DefaultParams()
+	params.WarmupInstructions = 0
+	ins := trace.Collect(workload.New(batchProfile(99)))
+	e := New(core.DefaultConfig(), params)
+	e.reset()
+	hits := 0
+	for i := range ins {
+		if e.stepBulkOK(&ins[i], e.res.Instructions) {
+			hits++
+		}
+		e.step(ins[i])
+	}
+	if hits == 0 {
+		t.Fatal("bulk fast path never fired on a real workload")
+	}
+	t.Logf("bulk fast path accepted %d of %d instructions (%.1f%%)",
+		hits, len(ins), 100*float64(hits)/float64(len(ins)))
+}
+
+// TestRunBatchedDegenerateBatches covers sources shorter than one batch
+// and empty sources.
+func TestRunBatchedDegenerateBatches(t *testing.T) {
+	params := DefaultParams()
+	params.WarmupInstructions = 0
+
+	empty := trace.NewSliceSource("empty", nil)
+	res := New(core.DefaultConfig(), params).RunBatched(empty, "btb2")
+	if res.Instructions != 0 {
+		t.Fatalf("empty source simulated %d instructions", res.Instructions)
+	}
+
+	tiny := trace.Collect(workload.New(batchProfile(5)))[:3]
+	serial := New(core.DefaultConfig(), params).Run(trace.NewSliceSource("tiny", tiny), "btb2")
+	batched := New(core.DefaultConfig(), params).RunBatched(trace.NewSliceSource("tiny", tiny), "btb2")
+	requireResultsEqual(t, "tiny", serial, batched)
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "fmt"
+
+// Diff returns a human-readable line for every field-level difference
+// between two snapshots; an empty slice means they are bit-identical
+// (same sequence number, same metrics in the same order, same values,
+// counts, sums, bounds, and buckets). It is the comparator behind the
+// serial-oracle differential gate: positional comparison on purpose,
+// because registry enumeration order is part of the determinism
+// contract.
+func Diff(a, b Snapshot) []string {
+	var out []string
+	if a.Seq != b.Seq {
+		out = append(out, fmt.Sprintf("seq: %d != %d", a.Seq, b.Seq))
+	}
+	n := len(a.Values)
+	if len(b.Values) < n {
+		n = len(b.Values)
+	}
+	for i := 0; i < n; i++ {
+		out = appendValueDiff(out, i, &a.Values[i], &b.Values[i])
+	}
+	for i := n; i < len(a.Values); i++ {
+		out = append(out, fmt.Sprintf("[%d] %s: only in first snapshot", i, a.Values[i].Name))
+	}
+	for i := n; i < len(b.Values); i++ {
+		out = append(out, fmt.Sprintf("[%d] %s: only in second snapshot", i, b.Values[i].Name))
+	}
+	return out
+}
+
+func appendValueDiff(out []string, i int, va, vb *Value) []string {
+	if va.Name != vb.Name {
+		// Misaligned registries: every later positional comparison would
+		// be noise, so report the misalignment and stop at this value.
+		return append(out, fmt.Sprintf("[%d] name: %q != %q", i, va.Name, vb.Name))
+	}
+	if va.Type != vb.Type {
+		out = append(out, fmt.Sprintf("[%d] %s type: %s != %s", i, va.Name, va.Type, vb.Type))
+	}
+	if va.Unit != vb.Unit {
+		out = append(out, fmt.Sprintf("[%d] %s unit: %q != %q", i, va.Name, va.Unit, vb.Unit))
+	}
+	if va.Value != vb.Value {
+		out = append(out, fmt.Sprintf("[%d] %s value: %d != %d", i, va.Name, va.Value, vb.Value))
+	}
+	if va.Count != vb.Count {
+		out = append(out, fmt.Sprintf("[%d] %s count: %d != %d", i, va.Name, va.Count, vb.Count))
+	}
+	if va.Sum != vb.Sum {
+		out = append(out, fmt.Sprintf("[%d] %s sum: %d != %d", i, va.Name, va.Sum, vb.Sum))
+	}
+	out = appendSliceDiff(out, i, va.Name, "bounds", va.Bounds, vb.Bounds)
+	out = appendSliceDiff(out, i, va.Name, "buckets", va.Buckets, vb.Buckets)
+	return out
+}
+
+func appendSliceDiff(out []string, i int, name, field string, a, b []int64) []string {
+	if len(a) != len(b) {
+		return append(out, fmt.Sprintf("[%d] %s %s: %d entries != %d entries", i, name, field, len(a), len(b)))
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			out = append(out, fmt.Sprintf("[%d] %s %s[%d]: %d != %d", i, name, field, k, a[k], b[k]))
+		}
+	}
+	return out
+}

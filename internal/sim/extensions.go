@@ -38,72 +38,74 @@ func BTB2RowGeometry(rowBytes int) btb.Config {
 // utilization) but can overflow when a sequential code stream carries
 // more than 6 ever-taken branches per row.
 func SweepRowCoverage(profiles []workload.Profile, params engine.Params, widths []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	base := core.OneLevelConfig()
-	for _, w := range widths {
+	variants := make([]core.Config, len(widths))
+	for i, w := range widths {
 		cfg := core.DefaultConfig()
 		cfg.BTB2 = BTB2RowGeometry(w)
-		imp, err := averageImprovement(profiles, params, base, cfg)
-		if err != nil {
-			return out, err
-		}
+		variants[i] = cfg
+	}
+	imps, err := averageImprovements(profiles, params, core.OneLevelConfig(), variants)
+	out := make([]SweepPoint, 0, len(widths))
+	for i, w := range widths {
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%dB rows (%d reads/block)", w, 4096/w),
 			Value:       float64(w),
-			Improvement: imp,
+			Improvement: imps[i],
 			Shipping:    w == 32,
 		})
 	}
-	return out, nil
+	return out, err
 }
 
 // SweepMissMode compares the Section 3.4 / Section 6 miss-definition
 // alternatives: early-speculative, late-precise (decode surprise), and
 // their combination.
 func SweepMissMode(profiles []workload.Profile, params engine.Params) ([]SweepPoint, error) {
-	var out []SweepPoint
-	base := core.OneLevelConfig()
-	for _, m := range []core.MissMode{core.MissSpeculative, core.MissDecodeSurprise, core.MissBoth} {
+	modes := []core.MissMode{core.MissSpeculative, core.MissDecodeSurprise, core.MissBoth}
+	variants := make([]core.Config, len(modes))
+	for i, m := range modes {
 		cfg := core.DefaultConfig()
 		cfg.MissMode = m
-		imp, err := averageImprovement(profiles, params, base, cfg)
-		if err != nil {
-			return out, err
-		}
+		variants[i] = cfg
+	}
+	imps, err := averageImprovements(profiles, params, core.OneLevelConfig(), variants)
+	out := make([]SweepPoint, 0, len(modes))
+	for i, m := range modes {
 		out = append(out, SweepPoint{
 			Label:       m.String(),
 			Value:       float64(m),
-			Improvement: imp,
+			Improvement: imps[i],
 			Shipping:    m == core.MissSpeculative,
 		})
 	}
-	return out, nil
+	return out, err
 }
 
 // MultiBlockStudy measures the bounded multi-block transfer extension
 // against the shipping single-block design.
 func MultiBlockStudy(profiles []workload.Profile, params engine.Params) ([]SweepPoint, error) {
-	var out []SweepPoint
-	base := core.OneLevelConfig()
-	for _, on := range []bool{false, true} {
+	settings := []bool{false, true}
+	variants := make([]core.Config, len(settings))
+	for i, on := range settings {
 		cfg := core.DefaultConfig()
 		cfg.MultiBlockTransfer = on
+		variants[i] = cfg
+	}
+	imps, err := averageImprovements(profiles, params, core.OneLevelConfig(), variants)
+	out := make([]SweepPoint, 0, len(settings))
+	for i, on := range settings {
 		label := "single-block (shipping)"
 		if on {
 			label = "multi-block chase"
 		}
-		imp, err := averageImprovement(profiles, params, base, cfg)
-		if err != nil {
-			return out, err
-		}
 		out = append(out, SweepPoint{
 			Label:       label,
 			Value:       b2f(on),
-			Improvement: imp,
+			Improvement: imps[i],
 			Shipping:    !on,
 		})
 	}
-	return out, nil
+	return out, err
 }
 
 func b2f(b bool) float64 {
@@ -220,21 +222,21 @@ func SweepBTBPSize(profiles []workload.Profile, params engine.Params, ways []int
 // latency class of Figure 4 ("due to latency for writing surprise
 // branches into the prediction tables") scales with it.
 func SweepInstallDelay(profiles []workload.Profile, params engine.Params, delays []uint64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	base := core.OneLevelConfig()
-	for _, d := range delays {
+	variants := make([]core.Config, len(delays))
+	for i, d := range delays {
 		cfg := core.DefaultConfig()
 		cfg.SurpriseInstallDelay = d
-		imp, err := averageImprovement(profiles, params, base, cfg)
-		if err != nil {
-			return out, err
-		}
+		variants[i] = cfg
+	}
+	imps, err := averageImprovements(profiles, params, core.OneLevelConfig(), variants)
+	out := make([]SweepPoint, 0, len(delays))
+	for i, d := range delays {
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%d cycles", d),
 			Value:       float64(d),
-			Improvement: imp,
+			Improvement: imps[i],
 			Shipping:    d == 24,
 		})
 	}
-	return out, nil
+	return out, err
 }

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -78,17 +79,39 @@ func Compare(src trace.Source, params engine.Params) Comparison {
 }
 
 // Figure2 runs the full Figure 2 study: all 13 Table 4 traces under the
-// three configurations, in parallel across traces (each comparison uses
-// private engine and workload instances, so results are deterministic).
-// instructions <= 0 uses the workload default.
-// A shard that fails (panics) leaves its Comparison zero-valued and is
-// reported in the returned error; the other shards' results survive.
+// three configurations, scheduled as 39 independent (config, trace)
+// units across the work-stealing pool (each unit uses private engine
+// and workload instances, so results are deterministic regardless of
+// which worker runs what). instructions <= 0 uses the workload default.
+// A unit that fails (panics) leaves its slot of the Comparison
+// zero-valued and is reported in the returned error; every other
+// result survives.
 func Figure2(instructions int, params engine.Params) ([]Comparison, error) {
 	profiles := workload.Table4Profiles(instructions)
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{ConfigNoBTB2, core.OneLevelConfig()},
+		{ConfigBTB2, core.DefaultConfig()},
+		{ConfigLargeL1, core.LargeOneLevelConfig()},
+	}
+	units := make([]Unit, 0, len(profiles)*len(configs))
+	for i := range profiles {
+		for _, c := range configs {
+			units = append(units, ProfileUnit(profiles[i], c.cfg, params, c.name))
+		}
+	}
+	res, err := RunUnits(context.Background(), 0, units)
 	out := make([]Comparison, len(profiles))
-	err := parallelFor(len(profiles), func(i int) {
-		out[i] = Compare(workload.New(profiles[i]), params)
-	})
+	for i := range profiles {
+		out[i] = Comparison{
+			Trace:     profiles[i].Name,
+			Base:      res[3*i],
+			BTB2:      res[3*i+1],
+			LargeBTB1: res[3*i+2],
+		}
+	}
 	return out, err
 }
 
@@ -126,9 +149,9 @@ type SweepPoint struct {
 	Shipping    bool    // the setting chosen for the hardware
 }
 
-// btb2Geometry builds a BTB2 btb.Config with the given rows (ways fixed
+// BTB2Geometry builds a BTB2 btb.Config with the given rows (ways fixed
 // at 6, 32-byte rows). rows must be a power of two >= 64.
-func btb2Geometry(rows int) btb.Config {
+func BTB2Geometry(rows int) btb.Config {
 	bits := 0
 	for r := rows; r > 1; r >>= 1 {
 		bits++
@@ -138,88 +161,115 @@ func btb2Geometry(rows int) btb.Config {
 }
 
 // SweepBTB2Size reproduces Figure 5: the average improvement as the BTB2
-// capacity varies. Sizes are total branch capacities (rows x 6).
+// capacity varies. Sizes are total branch capacities (rows x 6). All
+// points run as one scheduler invocation with the shared baseline runs
+// deduplicated (this is the capacity study the parallel pipeline exists
+// for).
 func SweepBTB2Size(profiles []workload.Profile, params engine.Params, rowCounts []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	base := core.OneLevelConfig()
-	for _, rows := range rowCounts {
+	variants := make([]core.Config, len(rowCounts))
+	for i, rows := range rowCounts {
 		cfg := core.DefaultConfig()
-		cfg.BTB2 = btb2Geometry(rows)
-		imp, err := averageImprovement(profiles, params, base, cfg)
-		if err != nil {
-			return out, err
-		}
+		cfg.BTB2 = BTB2Geometry(rows)
+		variants[i] = cfg
+	}
+	imps, err := averageImprovements(profiles, params, core.OneLevelConfig(), variants)
+	out := make([]SweepPoint, 0, len(rowCounts))
+	for i, rows := range rowCounts {
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%dk (%d x 6)", rows*6/1024, rows),
 			Value:       float64(rows * 6),
-			Improvement: imp,
+			Improvement: imps[i],
 			Shipping:    rows == 4096,
 		})
 	}
-	return out, nil
+	return out, err
 }
 
 // SweepMissDefinition reproduces Figure 6: the average improvement as the
 // BTB1-miss search limit varies (the shipping design uses 4 searches /
 // 128 bytes).
 func SweepMissDefinition(profiles []workload.Profile, params engine.Params, limits []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	base := core.OneLevelConfig()
-	for _, lim := range limits {
+	variants := make([]core.Config, len(limits))
+	for i, lim := range limits {
 		cfg := core.DefaultConfig()
 		cfg.Miss.SearchLimit = lim
-		imp, err := averageImprovement(profiles, params, base, cfg)
-		if err != nil {
-			return out, err
-		}
+		variants[i] = cfg
+	}
+	imps, err := averageImprovements(profiles, params, core.OneLevelConfig(), variants)
+	out := make([]SweepPoint, 0, len(limits))
+	for i, lim := range limits {
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%d searches (%dB)", lim, lim*32),
 			Value:       float64(lim),
-			Improvement: imp,
+			Improvement: imps[i],
 			Shipping:    lim == 4,
 		})
 	}
-	return out, nil
+	return out, err
 }
 
 // SweepTrackers reproduces Figure 7: the average improvement as the
 // number of BTB2 search trackers varies (the shipping design uses 3).
 func SweepTrackers(profiles []workload.Profile, params engine.Params, counts []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	base := core.OneLevelConfig()
-	for _, n := range counts {
+	variants := make([]core.Config, len(counts))
+	for i, n := range counts {
 		cfg := core.DefaultConfig()
 		cfg.Tracker.Count = n
-		imp, err := averageImprovement(profiles, params, base, cfg)
-		if err != nil {
-			return out, err
-		}
+		variants[i] = cfg
+	}
+	imps, err := averageImprovements(profiles, params, core.OneLevelConfig(), variants)
+	out := make([]SweepPoint, 0, len(counts))
+	for i, n := range counts {
 		out = append(out, SweepPoint{
 			Label:       fmt.Sprintf("%d trackers", n),
 			Value:       float64(n),
-			Improvement: imp,
+			Improvement: imps[i],
 			Shipping:    n == 3,
 		})
 	}
-	return out, nil
+	return out, err
 }
 
-// averageImprovement runs base and variant configs over all profiles (in
-// parallel) and averages the CPI improvement. A failed shard contributes
-// zero to the average and surfaces in the returned error.
+// averageImprovement runs base and variant configs over all profiles
+// through the shard scheduler and averages the CPI improvement. A
+// failed unit contributes zero to the average and surfaces in the
+// returned error.
 func averageImprovement(profiles []workload.Profile, params engine.Params, base, variant core.Config) (float64, error) {
-	imps := make([]float64, len(profiles))
-	err := parallelFor(len(profiles), func(i int) {
-		src := workload.New(profiles[i])
-		b := engine.Run(src, base, params, "base")
-		v := engine.Run(src, variant, params, "variant")
-		imps[i] = v.Improvement(b)
-	})
-	sum := 0.0
-	for _, imp := range imps {
-		sum += imp
+	imps, err := averageImprovements(profiles, params, base, []core.Config{variant})
+	return imps[0], err
+}
+
+// averageImprovements is the batched sweep core: one scheduler
+// invocation covering the shared base configuration once per profile
+// plus every variant per profile, returning each variant's average CPI
+// improvement over the base. Deduplicating the base runs is what makes
+// multi-point sweeps core-bound instead of wall-clock-bound — a
+// k-point sweep costs (k+1) x len(profiles) runs instead of 2k x
+// len(profiles), all fanned across the work-stealing pool.
+func averageImprovements(profiles []workload.Profile, params engine.Params, base core.Config, variants []core.Config) ([]float64, error) {
+	np := len(profiles)
+	units := make([]Unit, 0, np*(1+len(variants)))
+	for i := range profiles {
+		units = append(units, ProfileUnit(profiles[i], base, params, "base"))
 	}
-	return sum / float64(len(profiles)), err
+	for _, v := range variants {
+		for i := range profiles {
+			units = append(units, ProfileUnit(profiles[i], v, params, "variant"))
+		}
+	}
+	res, err := RunUnits(context.Background(), 0, units)
+	out := make([]float64, len(variants))
+	if np == 0 {
+		return out, err
+	}
+	for vi := range variants {
+		sum := 0.0
+		for pi := 0; pi < np; pi++ {
+			sum += res[np*(1+vi)+pi].Improvement(res[pi])
+		}
+		out[vi] = sum / float64(np)
+	}
+	return out, err
 }
 
 // Ablation is one named design-choice variation and its average
@@ -247,19 +297,20 @@ func Ablations(profiles []workload.Profile, params engine.Params) ([]Ablation, e
 		{"BTBP bypassed (installs pollute BTB1)", func(c *core.Config) { c.BypassBTBP = true }},
 		{"multi-block transfer chase", func(c *core.Config) { c.MultiBlockTransfer = true }},
 	}
-	var out []Ablation
-	for _, v := range variants {
+	cfgs := make([]core.Config, len(variants))
+	for i, v := range variants {
 		cfg := core.DefaultConfig()
 		v.mutate(&cfg)
-		imp, err := averageImprovement(profiles, params, base, cfg)
-		if err != nil {
-			return out, err
-		}
+		cfgs[i] = cfg
+	}
+	imps, err := averageImprovements(profiles, params, base, cfgs)
+	out := make([]Ablation, 0, len(variants))
+	for i, v := range variants {
 		out = append(out, Ablation{
 			Name:        v.name,
-			Improvement: imp,
+			Improvement: imps[i],
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Improvement > out[j].Improvement })
-	return out, nil
+	return out, err
 }

@@ -1,0 +1,399 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bulkpreload/internal/zaddr"
+)
+
+// mkRandomTrace builds n pseudorandom valid records (every Kind, mixed
+// flags) — the property-test corpus for decoder equivalence.
+func mkRandomTrace(tb testing.TB, n int, seed int64) []Inst {
+	tb.Helper()
+	r := rand.New(rand.NewSource(seed))
+	evenAddr := func() zaddr.Addr { return zaddr.Addr(r.Uint64()<<1) | 2 }
+	kinds := []Kind{NotBranch, CondDirect, UncondDirect, Call, Return, IndirectOther, PreloadHint}
+	ins := make([]Inst, 0, n)
+	for len(ins) < n {
+		k := kinds[r.Intn(len(kinds))]
+		in := Inst{
+			Addr:   evenAddr(),
+			Length: uint8(2 * (1 + r.Intn(3))),
+			Kind:   k,
+		}
+		switch {
+		case k == PreloadHint:
+			in.Target = evenAddr()
+			in.HintBranch = evenAddr()
+		case k != NotBranch:
+			in.Taken = k.AlwaysTaken() || r.Intn(2) == 0
+			in.StaticTaken = r.Intn(2) == 0
+			if in.Taken {
+				in.Target = evenAddr()
+			}
+		}
+		if err := in.Validate(); err != nil {
+			continue // skip combinations the format forbids
+		}
+		ins = append(ins, in)
+	}
+	return ins
+}
+
+// encode serializes ins under name and returns the wire bytes.
+func encode(tb testing.TB, name string, ins []Inst) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteSlice(&buf, name, ins); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drainDecoder pulls every record out of a BatchDecoder, returning the
+// salvaged records and the terminal error (nil on clean EOF).
+func drainDecoder(dec *BatchDecoder, batchCap int) ([]Inst, error) {
+	b := NewBatch(batchCap)
+	var out []Inst
+	for {
+		err := dec.Next(&b)
+		out = append(out, b.Ins...)
+		if err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+	}
+}
+
+// TestBatchDecoderMatchesRead is the round-trip property: for any batch
+// capacity, the batch decoder must deliver exactly the records Read
+// does, in order.
+func TestBatchDecoderMatchesRead(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 63, 64, 65, 1000} {
+		ins := mkRandomTrace(t, n, int64(7000+n))
+		data := encode(t, "prop", ins)
+		wantName, want, err := Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("n=%d: reference Read failed: %v", n, err)
+		}
+		for _, batchCap := range []int{1, 2, 7, 64, 1024} {
+			dec, err := NewBatchDecoder(bytes.NewReader(data), batchCap)
+			if err != nil {
+				t.Fatalf("n=%d cap=%d: %v", n, batchCap, err)
+			}
+			if dec.Name() != wantName || dec.Total() != uint64(n) {
+				t.Fatalf("n=%d cap=%d: header %q/%d, want %q/%d",
+					n, batchCap, dec.Name(), dec.Total(), wantName, n)
+			}
+			got, derr := drainDecoder(dec, batchCap)
+			if derr != nil {
+				t.Fatalf("n=%d cap=%d: decode failed: %v", n, batchCap, derr)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d cap=%d: %d records, want %d", n, batchCap, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d cap=%d: record %d = %+v, want %+v", n, batchCap, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDecoderTruncationMatchesRead cuts a stream at every byte
+// offset — which, across the capacity set, places cuts exactly on and
+// around batch boundaries — and demands the decoder salvage the same
+// record prefix and report the very same diagnostic string as Read.
+func TestBatchDecoderTruncationMatchesRead(t *testing.T) {
+	ins := mkRandomTrace(t, 10, 42)
+	data := encode(t, "cut", ins)
+	for cut := 0; cut < len(data); cut++ {
+		_, want, wantErr := Read(bytes.NewReader(data[:cut]))
+		for _, batchCap := range []int{1, 2, 4, 64} {
+			dec, err := NewBatchDecoder(bytes.NewReader(data[:cut]), batchCap)
+			if err != nil {
+				// Header-level failure: Read must have failed identically.
+				if wantErr == nil {
+					t.Fatalf("cut=%d cap=%d: decoder rejected header Read accepted: %v", cut, batchCap, err)
+				}
+				if err.Error() != wantErr.Error() {
+					t.Fatalf("cut=%d cap=%d: header diagnostics differ:\n  decoder: %v\n  read:    %v",
+						cut, batchCap, err, wantErr)
+				}
+				continue
+			}
+			got, gotErr := drainDecoder(dec, batchCap)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("cut=%d cap=%d: decoder err %v, Read err %v", cut, batchCap, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("cut=%d cap=%d: diagnostics differ:\n  decoder: %v\n  read:    %v",
+						cut, batchCap, gotErr, wantErr)
+				}
+				if !errors.Is(gotErr, ErrBadTrace) {
+					t.Fatalf("cut=%d cap=%d: not ErrBadTrace: %v", cut, batchCap, gotErr)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cut=%d cap=%d: salvaged %d records, Read salvaged %d", cut, batchCap, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cut=%d cap=%d: salvaged record %d differs", cut, batchCap, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDecoderCorruptRecord plants an invalid record mid-stream and
+// checks both decoders agree on the diagnostic and the salvage prefix.
+func TestBatchDecoderCorruptRecord(t *testing.T) {
+	ins := mkRandomTrace(t, 9, 17)
+	data := encode(t, "corrupt", ins)
+	headerLen := len(data) - len(ins)*recordSize
+	// Poison record 5's kind byte.
+	data[headerLen+5*recordSize+25] = 0xee
+	_, want, wantErr := Read(bytes.NewReader(data))
+	if wantErr == nil || len(want) != 5 {
+		t.Fatalf("reference Read: %d records, err=%v; want 5 records and an error", len(want), wantErr)
+	}
+	for _, batchCap := range []int{1, 3, 64} {
+		dec, err := NewBatchDecoder(bytes.NewReader(data), batchCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotErr := drainDecoder(dec, batchCap)
+		if gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Fatalf("cap=%d: diagnostic %v, want %v", batchCap, gotErr, wantErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cap=%d: salvaged %d records, want %d", batchCap, len(got), len(want))
+		}
+	}
+}
+
+// TestFileSourceMatchesReadFileTolerant checks the streaming source's
+// salvage semantics against the in-memory tolerant loader, for intact
+// and truncated files, across both consumption styles and a Reset.
+func TestFileSourceMatchesReadFileTolerant(t *testing.T) {
+	ins := mkRandomTrace(t, 300, 5)
+	data := encode(t, "stream", ins)
+	dir := t.TempDir()
+
+	for _, tc := range []struct {
+		name      string
+		bytes     []byte
+		truncated bool
+	}{
+		{"whole", data, false},
+		{"cut-mid-record", data[:len(data)-recordSize-7], true},
+		{"cut-batch-boundary", data[:len(data)-236*recordSize], true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".zbpt")
+			if err := os.WriteFile(path, tc.bytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ref, refDiag, err := ReadFileTolerant(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Collect(ref)
+
+			src, err := OpenFileSource(path, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			if src.Name() != ref.Name() {
+				t.Errorf("name %q, want %q", src.Name(), ref.Name())
+			}
+			for pass := 0; pass < 2; pass++ {
+				got := Collect(src)
+				if len(got) != len(want) {
+					t.Fatalf("pass %d: %d records, want %d", pass, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("pass %d: record %d differs", pass, i)
+					}
+				}
+				if tc.truncated {
+					if src.Err() == nil || !errors.Is(src.Err(), ErrTruncated) {
+						t.Fatalf("pass %d: Err() = %v, want ErrTruncated diagnostic", pass, src.Err())
+					}
+					if refDiag == nil {
+						t.Fatalf("reference loader saw no damage")
+					}
+				} else if src.Err() != nil {
+					t.Fatalf("pass %d: Err() = %v on intact file", pass, src.Err())
+				}
+				src.Reset()
+			}
+
+			// Batcher path: FillBatch drains the same sequence.
+			b := NewBatch(17)
+			var batched []Inst
+			for src.FillBatch(&b) > 0 {
+				batched = append(batched, b.Ins...)
+			}
+			if len(batched) != len(want) {
+				t.Fatalf("FillBatch: %d records, want %d", len(batched), len(want))
+			}
+			for i := range want {
+				if batched[i] != want[i] {
+					t.Fatalf("FillBatch: record %d differs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestFileSourceMixedConsumption interleaves Next with FillBatch and
+// checks no record is reordered or dropped.
+func TestFileSourceMixedConsumption(t *testing.T) {
+	ins := mkRandomTrace(t, 100, 23)
+	path := filepath.Join(t.TempDir(), "mixed.zbpt")
+	if err := os.WriteFile(path, encode(t, "mixed", ins), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenFileSource(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	var got []Inst
+	b := NewBatch(5)
+	for i := 0; ; i++ {
+		if i%2 == 0 {
+			in, ok := src.Next()
+			if !ok {
+				break
+			}
+			got = append(got, in)
+			continue
+		}
+		if src.FillBatch(&b) == 0 {
+			break
+		}
+		got = append(got, b.Ins...)
+	}
+	if len(got) != len(ins) {
+		t.Fatalf("%d records, want %d", len(got), len(ins))
+	}
+	for i := range ins {
+		if got[i] != ins[i] {
+			t.Fatalf("record %d reordered: %+v, want %+v", i, got[i], ins[i])
+		}
+	}
+}
+
+// TestBatchDecodeZeroAlloc pins the zero-allocation contract of the
+// steady-state decode loop: once the decoder and batch exist, Next and
+// FillBatch must not allocate (the same contract zbpcheck's hotalloc
+// analyzer enforces syntactically).
+func TestBatchDecodeZeroAlloc(t *testing.T) {
+	ins := mkRandomTrace(t, 4096, 99)
+	data := encode(t, "alloc", ins)
+	br := bytes.NewReader(data)
+	dec, err := NewBatchDecoder(br, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(256)
+	var loopErr error
+	allocs := testing.AllocsPerRun(200, func() {
+		switch err := dec.Next(&b); err {
+		case nil:
+		case io.EOF:
+			if _, serr := br.Seek(dec.dataOff, io.SeekStart); serr != nil {
+				loopErr = serr
+				return
+			}
+			dec.Reset(br)
+		default:
+			loopErr = err
+		}
+	})
+	if loopErr != nil {
+		t.Fatal(loopErr)
+	}
+	if allocs != 0 {
+		t.Errorf("BatchDecoder.Next allocates %.1f times per call in steady state, want 0", allocs)
+	}
+
+	src := NewSliceSource("alloc", ins)
+	allocs = testing.AllocsPerRun(200, func() {
+		if FillBatch(src, &b) == 0 {
+			src.Reset()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SliceSource.FillBatch allocates %.1f times per call in steady state, want 0", allocs)
+	}
+}
+
+// FuzzBatchDecoder cross-checks the batch decoder against Read on
+// arbitrary bytes and batch capacities: same salvage prefix, same
+// diagnostic string, no panics, no io sentinels leaking.
+func FuzzBatchDecoder(f *testing.F) {
+	valid := fuzzSeedTrace(f)
+	f.Add(valid, uint8(1))
+	f.Add(valid, uint8(3))
+	f.Add(valid[:len(valid)-1], uint8(2))
+	f.Add(valid[:len(valid)-recordSize-5], uint8(4))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte("ZBPT"), uint8(9))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, capByte uint8) {
+		batchCap := int(capByte)%64 + 1
+		wantName, want, wantErr := Read(bytes.NewReader(data))
+		dec, err := NewBatchDecoder(bytes.NewReader(data), batchCap)
+		if err != nil {
+			if wantErr == nil {
+				t.Fatalf("decoder rejected header Read accepted: %v", err)
+			}
+			if err.Error() != wantErr.Error() {
+				t.Fatalf("header diagnostics differ:\n  decoder: %v\n  read:    %v", err, wantErr)
+			}
+			return
+		}
+		if dec.Name() != wantName {
+			t.Fatalf("name %q, want %q", dec.Name(), wantName)
+		}
+		got, gotErr := drainDecoder(dec, batchCap)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("decoder err %v, Read err %v", gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("diagnostics differ:\n  decoder: %v\n  read:    %v", gotErr, wantErr)
+			}
+			if !errors.Is(gotErr, ErrBadTrace) {
+				t.Fatalf("error not classified as ErrBadTrace: %v", gotErr)
+			}
+			if errors.Is(gotErr, io.ErrUnexpectedEOF) || errors.Is(gotErr, io.EOF) {
+				t.Fatalf("raw io sentinel leaked: %v", gotErr)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("salvaged %d records, Read salvaged %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -99,6 +99,82 @@ func WriteSlice(w io.Writer, name string, ins []Inst) (int64, error) {
 	return written, bw.Flush()
 }
 
+// readHeader consumes and validates the ZBPT header from r, returning
+// the trace name, the promised record count, and the number of header
+// bytes consumed (the byte offset of the first record). It is shared by
+// the one-shot Read and the streaming BatchDecoder so both report
+// identical byte-offset diagnostics.
+func readHeader(r io.Reader) (name string, n uint64, off int64, err error) {
+	magic := make([]byte, len(fileMagic))
+	if k, err := io.ReadFull(r, magic); err != nil {
+		return "", 0, 0, fmt.Errorf("%w: %w: magic cut short at byte offset %d (want %d header bytes)",
+			ErrBadTrace, ErrTruncated, off+int64(k), len(fileMagic))
+	}
+	if string(magic) != fileMagic {
+		return "", 0, 0, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	off += int64(len(fileMagic))
+	var hdr [4]byte
+	if k, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", 0, 0, fmt.Errorf("%w: %w: version/name header cut short at byte offset %d",
+			ErrBadTrace, ErrTruncated, off+int64(k))
+	}
+	off += int64(len(hdr))
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != fileVersion {
+		return "", 0, 0, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
+	nameBytes := make([]byte, nameLen)
+	if k, err := io.ReadFull(r, nameBytes); err != nil {
+		return "", 0, 0, fmt.Errorf("%w: %w: name cut short at byte offset %d (want %d name bytes)",
+			ErrBadTrace, ErrTruncated, off+int64(k), nameLen)
+	}
+	off += int64(nameLen)
+	name = string(nameBytes)
+	var cnt [8]byte
+	if k, err := io.ReadFull(r, cnt[:]); err != nil {
+		return name, 0, 0, fmt.Errorf("%w: %w: record count cut short at byte offset %d",
+			ErrBadTrace, ErrTruncated, off+int64(k))
+	}
+	off += int64(len(cnt))
+	n = binary.LittleEndian.Uint64(cnt[:])
+	const maxRecords = 1 << 31
+	if n > maxRecords {
+		return name, 0, 0, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, n)
+	}
+	return name, n, off, nil
+}
+
+// decodeRecord rebuilds one Inst from its wire image. rec must hold
+// recordSize bytes; no validation is performed here.
+//
+//zbp:hotpath
+func decodeRecord(rec []byte) Inst {
+	return Inst{
+		Addr:        zaddr.Addr(binary.LittleEndian.Uint64(rec[0:8])),
+		Target:      zaddr.Addr(binary.LittleEndian.Uint64(rec[8:16])),
+		HintBranch:  zaddr.Addr(binary.LittleEndian.Uint64(rec[16:24])),
+		Length:      rec[24],
+		Kind:        Kind(rec[25]),
+		Taken:       rec[26]&1 != 0,
+		StaticTaken: rec[26]&2 != 0,
+	}
+}
+
+// errRecordCut reports record i of n ending early: off is the byte
+// offset of the record's start, got the record bytes actually present.
+func errRecordCut(i, n uint64, off int64, got int) error {
+	return fmt.Errorf(
+		"%w: %w: record %d of %d cut short at byte offset %d (%d of %d record bytes present)",
+		ErrBadTrace, ErrTruncated, i, n, off+int64(got), got, recordSize)
+}
+
+// errRecordInvalid reports a structurally invalid record i starting at
+// byte offset off.
+func errRecordInvalid(i uint64, off int64, err error) error {
+	return fmt.Errorf("%w: record %d at byte offset %d: %v", ErrBadTrace, i, off, err)
+}
+
 // Read deserializes a full ZBPT stream from r, validating every record.
 //
 // On error, the name and every record parsed before the failure are
@@ -108,63 +184,27 @@ func WriteSlice(w io.Writer, name string, ins []Inst) (int64, error) {
 // the stream gave out.
 func Read(r io.Reader) (name string, ins []Inst, err error) {
 	br := bufio.NewReader(r)
-	var off int64 // bytes fully consumed so far
-	magic := make([]byte, len(fileMagic))
-	if k, err := io.ReadFull(br, magic); err != nil {
-		return "", nil, fmt.Errorf("%w: %w: magic cut short at byte offset %d (want %d header bytes)",
-			ErrBadTrace, ErrTruncated, off+int64(k), len(fileMagic))
+	name, n, off, err := readHeader(br)
+	if err != nil {
+		return name, nil, err
 	}
-	if string(magic) != fileMagic {
-		return "", nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	// Preallocate from the header's promised count, but bounded: a
+	// corrupt or hostile header must not commit gigabytes before a
+	// single record has been read. The slice grows on demand past the
+	// bound (found by FuzzBatchDecoder cross-checking this path).
+	capHint := n
+	if capHint > 1<<20 {
+		capHint = 1 << 20
 	}
-	off += int64(len(fileMagic))
-	var hdr [4]byte
-	if k, err := io.ReadFull(br, hdr[:]); err != nil {
-		return "", nil, fmt.Errorf("%w: %w: version/name header cut short at byte offset %d",
-			ErrBadTrace, ErrTruncated, off+int64(k))
-	}
-	off += int64(len(hdr))
-	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != fileVersion {
-		return "", nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
-	}
-	nameLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
-	nameBytes := make([]byte, nameLen)
-	if k, err := io.ReadFull(br, nameBytes); err != nil {
-		return "", nil, fmt.Errorf("%w: %w: name cut short at byte offset %d (want %d name bytes)",
-			ErrBadTrace, ErrTruncated, off+int64(k), nameLen)
-	}
-	off += int64(nameLen)
-	name = string(nameBytes)
-	var cnt [8]byte
-	if k, err := io.ReadFull(br, cnt[:]); err != nil {
-		return name, nil, fmt.Errorf("%w: %w: record count cut short at byte offset %d",
-			ErrBadTrace, ErrTruncated, off+int64(k))
-	}
-	off += int64(len(cnt))
-	n := binary.LittleEndian.Uint64(cnt[:])
-	const maxRecords = 1 << 31
-	if n > maxRecords {
-		return name, nil, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, n)
-	}
-	ins = make([]Inst, 0, n)
+	ins = make([]Inst, 0, capHint)
 	var rec [recordSize]byte
 	for i := uint64(0); i < n; i++ {
 		if k, err := io.ReadFull(br, rec[:]); err != nil {
-			return name, ins, fmt.Errorf(
-				"%w: %w: record %d of %d cut short at byte offset %d (%d of %d record bytes present)",
-				ErrBadTrace, ErrTruncated, i, n, off+int64(k), k, recordSize)
+			return name, ins, errRecordCut(i, n, off, k)
 		}
-		in := Inst{
-			Addr:        zaddr.Addr(binary.LittleEndian.Uint64(rec[0:8])),
-			Target:      zaddr.Addr(binary.LittleEndian.Uint64(rec[8:16])),
-			HintBranch:  zaddr.Addr(binary.LittleEndian.Uint64(rec[16:24])),
-			Length:      rec[24],
-			Kind:        Kind(rec[25]),
-			Taken:       rec[26]&1 != 0,
-			StaticTaken: rec[26]&2 != 0,
-		}
+		in := decodeRecord(rec[:])
 		if err := in.Validate(); err != nil {
-			return name, ins, fmt.Errorf("%w: record %d at byte offset %d: %v", ErrBadTrace, i, off, err)
+			return name, ins, errRecordInvalid(i, off, err)
 		}
 		off += recordSize
 		ins = append(ins, in)
