@@ -1,25 +1,34 @@
 // Command zbpcheck is the multichecker for the simulator's
 // domain-specific analyzer suite (internal/check/...): it mechanically
 // enforces determinism, the paper's address bit-geometry, the
-// zero-allocation hot-path contract, metrics registration, and error
-// handling in the binaries and study layer. CI runs it on every build;
-// run it locally with
+// zero-allocation hot-path contract, metrics registration, error
+// handling, the shard scheduler's state-ownership discipline, the bulk
+// fast path's inertness proof, loop cancellation, and the freshness of
+// every //zbp: directive. CI runs it on every build; run it locally
+// with
 //
 //	go run ./cmd/zbpcheck ./...
 //
 // Diagnostics print as file:line:col: [analyzer] message, and the exit
 // status is 1 when any diagnostic (including an unused //zbp:allow) is
-// reported. See docs/STATIC_ANALYSIS.md for the analyzer catalogue and
-// the //zbp:hotpath, //zbp:wallclock, and //zbp:allow annotations.
+// reported. With -json the findings are emitted as one JSON object on
+// stdout (and, under GITHUB_ACTIONS, as ::error workflow commands on
+// stderr so they surface as inline PR annotations). See
+// docs/STATIC_ANALYSIS.md for the analyzer catalogue and the
+// //zbp:hotpath, //zbp:wallclock, //zbp:allow, //zbp:inert, and
+// //zbp:bounded annotations.
 //
 // The checker loads packages offline: module and vendored packages by
-// path mapping, standard-library imports from GOROOT source. It
-// analyzes non-test files (the contracts it enforces are production
-// ones; fixtures under testdata are exercised by the analysistest
-// suite instead).
+// path mapping, standard-library imports from GOROOT source. Packages
+// are analyzed in dependency order so analyzers that export facts
+// (inertpath) see their dependencies' facts, exactly as upstream
+// go/analysis drivers schedule them. It analyzes non-test files (the
+// contracts it enforces are production ones; fixtures under testdata
+// are exercised by the analysistest suite instead).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -31,11 +40,16 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	"bulkpreload/internal/check/bitrange"
+	"bulkpreload/internal/check/ctxflow"
 	"bulkpreload/internal/check/determinism"
 	"bulkpreload/internal/check/erring"
+	"bulkpreload/internal/check/facts"
 	"bulkpreload/internal/check/hotalloc"
+	"bulkpreload/internal/check/inertpath"
 	"bulkpreload/internal/check/load"
 	"bulkpreload/internal/check/obsreg"
+	"bulkpreload/internal/check/sharedstate"
+	"bulkpreload/internal/check/staledirective"
 )
 
 // Suite is the full analyzer suite, in reporting order.
@@ -45,23 +59,28 @@ var suite = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	obsreg.Analyzer,
 	erring.Analyzer,
+	sharedstate.Analyzer,
+	inertpath.Analyzer,
+	ctxflow.Analyzer,
+	staledirective.Analyzer,
 }
 
 func main() {
 	listOnly := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout (plus GitHub ::error annotations when GITHUB_ACTIONS is set)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: zbpcheck [packages]\n\nAnalyzes the module's packages (default ./...).\nPatterns: ./... or package directories relative to the module root.\n\n")
+			"usage: zbpcheck [-list] [-json] [packages]\n\nAnalyzes the module's packages (default ./...).\nPatterns: ./... or package directories relative to the module root.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *listOnly {
 		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
-	if err := run(flag.Args()); err != nil {
+	if err := run(flag.Args(), *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "zbpcheck:", err)
 		os.Exit(2)
 	}
@@ -73,7 +92,16 @@ type diag struct {
 	d        analysis.Diagnostic
 }
 
-func run(patterns []string) error {
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(patterns []string, jsonOut bool) error {
 	wd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -87,14 +115,23 @@ func run(patterns []string) error {
 	if err != nil {
 		return err
 	}
-	pkgs = filterPackages(pkgs, root, wd, patterns)
-	if len(pkgs) == 0 {
+	// Facts flow from a package to its importers, so analysis must
+	// respect the import graph even when the user narrows the reported
+	// set: analyze everything in dependency order, filter afterwards.
+	pkgs = dependencyOrder(pkgs)
+	selected := make(map[*load.Package]bool)
+	for _, pkg := range filterPackages(pkgs, root, wd, patterns) {
+		selected[pkg] = true
+	}
+	if len(selected) == 0 {
 		return fmt.Errorf("no packages match %v", patterns)
 	}
 
+	store := facts.NewStore()
 	var diags []diag
 	seen := map[string]bool{} // dedupe identical cross-analyzer reports (malformed allows)
 	for _, pkg := range pkgs {
+		pkg := pkg
 		pass := &analysis.Pass{
 			Fset:       pkg.Fset,
 			Files:      pkg.Syntax,
@@ -102,9 +139,13 @@ func run(patterns []string) error {
 			TypesInfo:  pkg.TypesInfo,
 			TypesSizes: pkg.TypeSizes,
 		}
+		facts.Bind(pass, store)
 		for _, a := range suite {
 			pass.Analyzer = a
 			pass.Report = func(d analysis.Diagnostic) {
+				if !selected[pkg] {
+					return // analyzed for facts only
+				}
 				pos := pkg.Fset.Position(d.Pos)
 				key := fmt.Sprintf("%s:%d:%d:%s", pos.Filename, pos.Line, pos.Column, d.Message)
 				if seen[key] {
@@ -129,12 +170,11 @@ func run(patterns []string) error {
 		}
 		return a.Column < b.Column
 	})
+	if jsonOut {
+		return emitJSON(wd, diags)
+	}
 	for _, d := range diags {
-		rel := d.pos.Filename
-		if r, err := filepath.Rel(wd, rel); err == nil && !strings.HasPrefix(r, "..") {
-			rel = r
-		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.pos.Line, d.pos.Column, d.analyzer, d.d.Message)
+		fmt.Printf("%s:%d:%d: [%s] %s\n", relTo(wd, d.pos.Filename), d.pos.Line, d.pos.Column, d.analyzer, d.d.Message)
 		for _, fix := range d.d.SuggestedFixes {
 			fmt.Printf("\tsuggested fix: %s\n", fix.Message)
 		}
@@ -144,6 +184,85 @@ func run(patterns []string) error {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// emitJSON writes the machine-readable findings report and exits 1 when
+// it is non-empty, mirroring the human-readable path's gating.
+func emitJSON(wd string, diags []diag) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			File:     relTo(wd, d.pos.Filename),
+			Line:     d.pos.Line,
+			Col:      d.pos.Column,
+			Analyzer: d.analyzer,
+			Message:  d.d.Message,
+		})
+	}
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name
+	}
+	out := struct {
+		Analyzers []string      `json:"analyzers"`
+		Findings  []jsonFinding `json:"findings"`
+		Count     int           `json:"count"`
+	}{Analyzers: names, Findings: findings, Count: len(findings)}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if os.Getenv("GITHUB_ACTIONS") != "" {
+		for _, f := range findings {
+			// GitHub workflow command: renders as an inline annotation.
+			fmt.Fprintf(os.Stderr, "::error file=%s,line=%d,col=%d::[%s] %s\n",
+				f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func relTo(wd, file string) string {
+	if r, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return file
+}
+
+// dependencyOrder topologically sorts the module's packages so every
+// package follows the module-internal packages it imports (the order
+// fact-exporting analyzers require). Ties keep the loader's
+// deterministic directory order.
+func dependencyOrder(pkgs []*load.Package) []*load.Package {
+	byPath := make(map[string]*load.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	var out []*load.Package
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		switch state[p.PkgPath] {
+		case 1, 2:
+			return // cycle (impossible in a compiling module) or done
+		}
+		state[p.PkgPath] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		state[p.PkgPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // filterPackages applies the command-line patterns: "./..." (or no

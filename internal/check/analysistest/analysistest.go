@@ -27,6 +27,7 @@ import (
 
 	"golang.org/x/tools/go/analysis"
 
+	"bulkpreload/internal/check/facts"
 	"bulkpreload/internal/check/load"
 )
 
@@ -45,34 +46,42 @@ func TestData() string {
 // Run applies the analyzer to each fixture package (a directory name
 // under testdata/src) and reports mismatches against the // want
 // expectations through t.
+//
+// All fixture packages in one call share a loader and a fact store and
+// are analyzed in argument order, so a fact-exporting analyzer
+// (inertpath) sees facts from earlier fixtures in later ones — list
+// dependencies before their importers, exactly as the zbpcheck driver
+// schedules real packages.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixturePkgs ...string) {
 	t.Helper()
 	root, modPath, err := load.FindModule(testdata)
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	l := load.New(root, modPath)
+	l.ExtraSrcRoots = []string{filepath.Join(testdata, "src")}
+	store := facts.NewStore()
 	for _, pkgPath := range fixturePkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+		pkg, err := l.LoadTarget(dir, pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		var got []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Syntax,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: pkg.TypeSizes,
+			Report:     func(d analysis.Diagnostic) { got = append(got, d) },
+		}
+		facts.Bind(pass, store)
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkgPath, err)
+		}
 		t.Run(pkgPath, func(t *testing.T) {
-			l := load.New(root, modPath)
-			l.ExtraSrcRoots = []string{filepath.Join(testdata, "src")}
-			dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
-			pkg, err := l.LoadTarget(dir, pkgPath)
-			if err != nil {
-				t.Fatalf("loading fixture %s: %v", pkgPath, err)
-			}
-			var got []analysis.Diagnostic
-			pass := &analysis.Pass{
-				Analyzer:   a,
-				Fset:       pkg.Fset,
-				Files:      pkg.Syntax,
-				Pkg:        pkg.Types,
-				TypesInfo:  pkg.TypesInfo,
-				TypesSizes: pkg.TypeSizes,
-				Report:     func(d analysis.Diagnostic) { got = append(got, d) },
-			}
-			if _, err := a.Run(pass); err != nil {
-				t.Fatalf("%s: %v", a.Name, err)
-			}
 			checkWants(t, pkg.Fset, dir, pkg, got)
 		})
 	}

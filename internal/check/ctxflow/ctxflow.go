@@ -1,0 +1,127 @@
+// Package ctxflow defines an analyzer that keeps long simulations
+// interruptible: in the scheduler, study, fault-injection, trace, and
+// engine packages, a loop with no statically evident bound — for {}
+// with no condition, or range over a channel — must either observe
+// cancellation (a ctx.Done() receive or a ctx.Err() check anywhere in
+// its body) or carry //zbp:bounded <reason> naming the actual
+// termination argument (source EOF, closed channel, drained queue...).
+//
+// Multi-hour sweeps and the work-stealing worker pool are exactly the
+// loops an operator needs to be able to stop; a loop that neither
+// checks the context nor documents its bound is how "ctrl-C does
+// nothing" regressions ship. Conditional loops (for cond {}) are out of
+// scope — their bound is the condition, and proving it terminates is
+// not a build-time job. A //zbp:bounded that exempts nothing is itself
+// reported, so termination claims cannot outlive their loops.
+// Departures use //zbp:allow ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"bulkpreload/internal/check/directive"
+)
+
+const name = "ctxflow"
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "unbounded loops in the scheduler, study, fault, trace, and engine packages " +
+		"must observe ctx.Done()/ctx.Err() or be annotated //zbp:bounded <reason>",
+	Run: run,
+}
+
+// InScope reports whether the analyzer checks the package: the paths
+// where a wedged loop strands a long-running simulation.
+func InScope(pkgPath string) bool {
+	switch directive.PkgLastElem(pkgPath) {
+	case "sim", "fault", "trace", "engine":
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !InScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	allows := directive.CollectAllows(pass, name)
+	bounded := directive.CollectBounded(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				if loop.Cond != nil {
+					return true
+				}
+				body = loop.Body
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(loop.X)
+				if t == nil {
+					return true
+				}
+				if _, isChan := t.Underlying().(*types.Chan); !isChan {
+					return true
+				}
+				body = loop.Body
+			default:
+				return true
+			}
+			if observesContext(pass, body) || bounded.Exempt(n.Pos()) {
+				return true
+			}
+			allows.Report(pass, n, "unbounded loop does not observe cancellation; check ctx.Err() / select on ctx.Done() in the body, or annotate //zbp:bounded <reason> naming the termination argument")
+			return true
+		})
+	}
+	bounded.ReportUnused(pass)
+	allows.ReportUnused(pass)
+	return nil, nil
+}
+
+// observesContext reports whether the loop body contains a ctx.Done()
+// or ctx.Err() call on a context.Context value (directly or through a
+// field), at any nesting depth.
+func observesContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+			return true
+		}
+		if isContext(pass.TypesInfo.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContext reports whether t is context.Context (or an alias of it).
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/ctxflow"
+)
+
+// TestCtxFlow exercises unbounded loops that observe ctx.Err/ctx.Done
+// (accepted), documented //zbp:bounded loops (accepted), uninterruptible
+// loops (flagged), and stale or unused annotations (flagged).
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "ctxloops/sim")
+}

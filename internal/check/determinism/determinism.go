@@ -53,8 +53,15 @@ var globalRandAllowed = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
 }
 
+// InScope reports whether the analyzer checks the package; exported so
+// staledirective can reject //zbp:wallclock and //zbp:allow determinism
+// directives in packages this analyzer never reads.
+func InScope(pkgPath string) bool {
+	return criticalPkgs[directive.PkgLastElem(pkgPath)]
+}
+
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !criticalPkgs[directive.PkgLastElem(pass.Pkg.Path())] {
+	if !InScope(pass.Pkg.Path()) {
 		return nil, nil
 	}
 	allows := directive.CollectAllows(pass, name)

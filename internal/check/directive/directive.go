@@ -16,6 +16,18 @@
 //	    site: equivalent to //zbp:allow determinism <reason>, kept
 //	    distinct so intent is greppable.
 //
+//	//zbp:inert
+//	    On a function declaration's doc comment: the function is on the
+//	    bulk fast path's eligibility scan and must be provably
+//	    side-effect-free; the inertpath analyzer checks its body and
+//	    propagates the claim across packages as an analysis fact.
+//
+//	//zbp:bounded <reason>
+//	    On (or immediately above) a loop with no statically evident
+//	    bound (for {} or range over a channel): asserts termination for
+//	    the ctxflow analyzer, with a mandatory reason naming the actual
+//	    bound (EOF, closed channel, ...).
+//
 // Annotations are plain line comments and must start exactly with
 // "//zbp:" (no space), mirroring the //go: directive convention.
 package directive
@@ -52,6 +64,8 @@ const (
 	allowPrefix     = "//zbp:allow"
 	wallclockPrefix = "//zbp:wallclock"
 	hotpathPrefix   = "//zbp:hotpath"
+	inertPrefix     = "//zbp:inert"
+	boundedPrefix   = "//zbp:bounded"
 )
 
 // CollectAllows scans every comment in the pass for //zbp:allow
@@ -159,15 +173,121 @@ func (s *AllowSet) ReportUnused(pass *analysis.Pass) {
 
 // HasHotpath reports whether fn's doc comment carries //zbp:hotpath.
 func HasHotpath(fn *ast.FuncDecl) bool {
+	return hasDocDirective(fn, hotpathPrefix)
+}
+
+// HasInert reports whether fn's doc comment carries //zbp:inert.
+func HasInert(fn *ast.FuncDecl) bool {
+	return hasDocDirective(fn, inertPrefix)
+}
+
+func hasDocDirective(fn *ast.FuncDecl, want string) bool {
 	if fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if c.Text == hotpathPrefix || strings.HasPrefix(c.Text, hotpathPrefix+" ") {
+		if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
 			return true
 		}
 	}
 	return false
+}
+
+// Bounded is one parsed //zbp:bounded directive.
+type Bounded struct {
+	Pos       token.Pos // position of the comment
+	File      string    // file the comment lives in
+	Line      int       // line the comment starts on
+	Reason    string    // mandatory termination argument
+	Used      bool      // set when the directive exempts a loop
+	Malformed bool      // missing reason
+}
+
+// BoundedSet holds one package's //zbp:bounded directives with enough
+// position context to match them to loops.
+type BoundedSet struct {
+	fset    *token.FileSet
+	bounded []*Bounded
+}
+
+// CollectBounded scans every comment in the pass for //zbp:bounded.
+func CollectBounded(pass *analysis.Pass) *BoundedSet {
+	s := &BoundedSet{fset: pass.Fset}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				b, ok := parseBounded(c)
+				if !ok {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				b.File, b.Line, b.Pos = p.Filename, p.Line, c.Pos()
+				s.bounded = append(s.bounded, b)
+			}
+		}
+	}
+	return s
+}
+
+func parseBounded(c *ast.Comment) (*Bounded, bool) {
+	if !strings.HasPrefix(c.Text, boundedPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(c.Text, boundedPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //zbp:boundedness
+	}
+	b := &Bounded{Reason: strings.TrimSpace(rest)}
+	if b.Reason == "" {
+		b.Malformed = true
+	}
+	return b, true
+}
+
+// Exempt reports whether a loop starting at pos carries a //zbp:bounded
+// directive on the same line or the line immediately above, and marks
+// the matching directive used.
+func (s *BoundedSet) Exempt(pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	for _, b := range s.bounded {
+		if b.Malformed || b.File != p.Filename {
+			continue
+		}
+		if b.Line == p.Line || b.Line == p.Line-1 {
+			b.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// ReportUnused reports every malformed //zbp:bounded and every one that
+// exempted no loop: a termination assertion on a statically bounded (or
+// since-deleted) loop is rot.
+func (s *BoundedSet) ReportUnused(pass *analysis.Pass) {
+	for _, b := range s.bounded {
+		switch {
+		case b.Malformed:
+			pass.Reportf(b.Pos, "malformed //zbp:bounded: want //zbp:bounded <reason>")
+		case !b.Used:
+			pass.Reportf(b.Pos, "unused //zbp:bounded: no unbounded loop on this or the next line; delete the stale annotation")
+		}
+	}
+}
+
+// Split decomposes any //zbp: comment into its directive kind (the
+// token after the colon) and the remaining text. It is the shared
+// front end of the staledirective analyzer; ok is false for ordinary
+// comments.
+func Split(c *ast.Comment) (kind, rest string, ok bool) {
+	if !strings.HasPrefix(c.Text, prefix) {
+		return "", "", false
+	}
+	body := strings.TrimPrefix(c.Text, prefix)
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		return body[:i], strings.TrimSpace(body[i+1:]), true
+	}
+	return body, "", true
 }
 
 // PkgLastElem returns the final slash-separated element of a package

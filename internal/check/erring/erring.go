@@ -62,6 +62,11 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
+// InScope reports whether the analyzer checks the package; exported so
+// staledirective can reject //zbp:allow erring directives in packages
+// this analyzer never reads.
+func InScope(path string) bool { return inScope(path) }
+
 // inScope reports whether the analyzed package is a command or the
 // study layer: any path with a "cmd" segment, or a path whose last
 // element is "sim".

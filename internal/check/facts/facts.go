@@ -1,0 +1,160 @@
+// Package facts is the zbpcheck driver's cross-package fact store: the
+// offline stand-in for the fact plumbing of golang.org/x/tools
+// drivers. Analyzers speak the upstream API (Pass.ExportObjectFact /
+// ImportObjectFact and the package-fact twins); Bind wires those
+// closures to a Store shared across every package of one checker run.
+//
+// Facts never cross a package boundary as live values: every export is
+// immediately serialized with encoding/gob and every import decodes a
+// fresh copy, exactly as the upstream driver does between separate
+// compilations. That keeps analyzers honest — a fact type that is not
+// gob-serializable, or an analyzer that mutates an imported fact and
+// expects the change to stick, fails loudly here instead of subtly in
+// a real build system.
+//
+// Because the loader type-checks a package twice — once fully for its
+// own analysis pass, once body-free as a dependency of downstream
+// packages — the two copies of an object are distinct *types.Object
+// values. The store therefore keys facts by stable coordinates
+// (package path, receiver-qualified object name, fact type) rather
+// than by object identity.
+package facts
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Store holds the serialized facts of one analyzer suite run. The
+// zero value is not ready; use NewStore. A Store is not safe for
+// concurrent use: the driver analyzes packages sequentially in
+// dependency order, which is what gives facts their meaning.
+type Store struct {
+	objects  map[factKey][]byte
+	packages map[factKey][]byte
+}
+
+// factKey addresses one fact: the owning package, the
+// receiver-qualified object name ("" for package facts), the analyzer
+// namespace, and the concrete fact type.
+type factKey struct {
+	pkg      string
+	obj      string
+	analyzer string
+	typ      string
+}
+
+// NewStore returns an empty fact store.
+func NewStore() *Store {
+	return &Store{
+		objects:  make(map[factKey][]byte),
+		packages: make(map[factKey][]byte),
+	}
+}
+
+// objPath names an object stably across separate type-checks of its
+// package: package-level objects by name, methods by "Recv.Name".
+func objPath(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+		}
+	}
+	return obj.Name()
+}
+
+func encode(fact analysis.Fact) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// allowed reports whether the analyzer declared the fact's concrete
+// type in FactTypes — the upstream contract that keeps a fact type
+// owned by exactly one analyzer.
+func allowed(a *analysis.Analyzer, fact analysis.Fact) bool {
+	t := fmt.Sprintf("%T", fact)
+	for _, ft := range a.FactTypes {
+		if fmt.Sprintf("%T", ft) == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Bind installs the Store-backed fact closures on pass. Call it after
+// the pass's Analyzer, Pkg, and Report fields are set and before Run.
+func Bind(pass *analysis.Pass, s *Store) {
+	var exported []analysis.ObjectFact
+	var pkgExported []analysis.PackageFact
+
+	pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
+		if obj == nil || obj.Pkg() == nil {
+			panic(fmt.Sprintf("%s: ExportObjectFact on object without a package", pass.Analyzer.Name))
+		}
+		if !allowed(pass.Analyzer, fact) {
+			panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", pass.Analyzer.Name, fact))
+		}
+		b, err := encode(fact)
+		if err != nil {
+			panic(fmt.Sprintf("%s: fact %T is not gob-serializable: %v", pass.Analyzer.Name, fact, err))
+		}
+		s.objects[factKey{obj.Pkg().Path(), objPath(obj), pass.Analyzer.Name, fmt.Sprintf("%T", fact)}] = b
+		exported = append(exported, analysis.ObjectFact{Object: obj, Fact: fact})
+	}
+	pass.ImportObjectFact = func(obj types.Object, fact analysis.Fact) bool {
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		b, ok := s.objects[factKey{obj.Pkg().Path(), objPath(obj), pass.Analyzer.Name, fmt.Sprintf("%T", fact)}]
+		if !ok {
+			return false
+		}
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(fact); err != nil {
+			panic(fmt.Sprintf("%s: decoding fact %T: %v", pass.Analyzer.Name, fact, err))
+		}
+		return true
+	}
+	pass.ExportPackageFact = func(fact analysis.Fact) {
+		if !allowed(pass.Analyzer, fact) {
+			panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", pass.Analyzer.Name, fact))
+		}
+		b, err := encode(fact)
+		if err != nil {
+			panic(fmt.Sprintf("%s: fact %T is not gob-serializable: %v", pass.Analyzer.Name, fact, err))
+		}
+		s.packages[factKey{pass.Pkg.Path(), "", pass.Analyzer.Name, fmt.Sprintf("%T", fact)}] = b
+		pkgExported = append(pkgExported, analysis.PackageFact{Package: pass.Pkg, Fact: fact})
+	}
+	pass.ImportPackageFact = func(pkg *types.Package, fact analysis.Fact) bool {
+		if pkg == nil {
+			return false
+		}
+		b, ok := s.packages[factKey{pkg.Path(), "", pass.Analyzer.Name, fmt.Sprintf("%T", fact)}]
+		if !ok {
+			return false
+		}
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(fact); err != nil {
+			panic(fmt.Sprintf("%s: decoding fact %T: %v", pass.Analyzer.Name, fact, err))
+		}
+		return true
+	}
+	// The subset's AllObjectFacts/AllPackageFacts enumerate what this
+	// pass exported (the store holds serialized bytes keyed by path, not
+	// live objects, so earlier packages' facts are reachable only
+	// through Import*Fact with a concrete object in hand).
+	pass.AllObjectFacts = func() []analysis.ObjectFact { return append([]analysis.ObjectFact(nil), exported...) }
+	pass.AllPackageFacts = func() []analysis.PackageFact { return append([]analysis.PackageFact(nil), pkgExported...) }
+}

@@ -1,0 +1,362 @@
+// Package sharedstate defines an analyzer that enforces the sharding
+// discipline of the work-stealing scheduler (internal/sim) and the
+// batched engine (internal/engine): a worker goroutine owns its engine,
+// source, and obs registry, and the only state it may share with other
+// goroutines is its result slot (out[i] addressed by a worker-local
+// index), atomics, and mutex-guarded fields. Everything the
+// differential gate proves about RunUnits — bit-identical results
+// regardless of steal interleaving — rests on that ownership rule, so
+// the analyzer rejects the ways it has historically been broken:
+//
+//   - a goroutine closure that reads an iteration variable of an
+//     enclosing loop instead of taking it as an argument (the classic
+//     captured-loop-variable race; Go 1.22 made it per-iteration, but
+//     the scheduler's discipline is explicit hand-off);
+//   - a goroutine closure that assigns to a variable declared outside
+//     it. The two sanctioned shapes are a result slot — an element of a
+//     captured slice or map addressed only through worker-local
+//     indices — and a write issued after a mutex Lock in the same
+//     closure;
+//   - taking the address of captured state inside a goroutine other
+//     than a result slot (&out[i] with a worker-local index);
+//   - a send on a provably unbuffered channel outside a select: the
+//     scheduler's sanctioned pattern pairs every handoff send with a
+//     cancellation case, so a worker that died cannot wedge the feeder.
+//
+// The analyzer is intentionally shallow across calls: a closure that
+// mutates shared state inside a helper it calls is caught when that
+// helper's own package is checked, not at the call site. Intentional
+// departures use //zbp:allow sharedstate <reason>.
+package sharedstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"bulkpreload/internal/check/directive"
+)
+
+const name = "sharedstate"
+
+// Analyzer is the sharedstate analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "goroutines in the scheduler and engine may touch only worker-local state, " +
+		"result slots, atomics, and mutex-guarded fields",
+	Run: run,
+}
+
+// InScope reports whether the analyzer checks the package: the shard
+// scheduler (sim) and the batched engine (engine).
+func InScope(pkgPath string) bool {
+	switch directive.PkgLastElem(pkgPath) {
+	case "sim", "engine":
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !InScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	allows := directive.CollectAllows(pass, name)
+	for _, f := range pass.Files {
+		loopVars := collectLoopVars(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+					checkGoroutine(pass, allows, lit, loopVars)
+				}
+			}
+			return true
+		})
+		checkSends(pass, allows, f)
+	}
+	allows.ReportUnused(pass)
+	return nil, nil
+}
+
+// collectLoopVars maps every per-iteration variable object declared by
+// a for/range clause in the file to its loop statement.
+func collectLoopVars(pass *analysis.Pass, f *ast.File) map[types.Object]ast.Stmt {
+	out := make(map[types.Object]ast.Stmt)
+	def := func(e ast.Expr, loop ast.Stmt) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = loop
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				def(n.Key, n)
+				def(n.Value, n)
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					def(lhs, n)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// localTo reports whether the object is declared within the node's
+// source extent (parameters and body locals of a closure both qualify).
+func localTo(obj types.Object, n ast.Node) bool {
+	return obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// checkGoroutine applies the ownership rules to one go-statement
+// closure (nested literals — deferred snapshot publishes and the like —
+// are part of the same goroutine and are walked as its body).
+func checkGoroutine(pass *analysis.Pass, allows *directive.AllowSet, lit *ast.FuncLit, loopVars map[types.Object]ast.Stmt) {
+	reported := make(map[types.Object]bool) // one capture report per variable per goroutine
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil || localTo(obj, lit) || reported[obj] {
+				return true
+			}
+			if loop, isLoopVar := loopVars[obj]; isLoopVar && within(lit, loop) {
+				reported[obj] = true
+				allows.Report(pass, n,
+					"goroutine captures iteration variable %s of the enclosing loop; pass it as a call argument so each worker owns its copy", obj.Name())
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true // := always binds fresh closure-local objects
+			}
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, allows, lit, lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, allows, lit, n.X, n.Pos())
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				checkAddr(pass, allows, lit, n)
+			}
+		}
+		return true
+	})
+}
+
+// within reports whether node n lies inside container's extent.
+func within(n, container ast.Node) bool {
+	return n.Pos() >= container.Pos() && n.End() <= container.End()
+}
+
+// checkWrite classifies one assignment target inside a goroutine.
+func checkWrite(pass *analysis.Pass, allows *directive.AllowSet, lit *ast.FuncLit, lhs ast.Expr, at token.Pos) {
+	base, viaIndex, localIdx := lvalueShape(pass, lit, lhs)
+	if base == nil {
+		return
+	}
+	obj := pass.TypesInfo.Uses[base]
+	if obj == nil || localTo(obj, lit) {
+		return // worker-local state
+	}
+	if viaIndex && localIdx {
+		return // sanctioned result slot: captured[workerLocalIndex] = ...
+	}
+	if lockedBefore(pass, lit, at) {
+		return // mutex-guarded region
+	}
+	what := "shared variable " + obj.Name()
+	if viaIndex {
+		what = obj.Name() + "[...] through a non-worker-local index"
+	}
+	allows.Report(pass, lhs,
+		"goroutine writes %s; route results through a worker-owned slot (a captured slice element addressed by a worker-local index), an atomic, or a mutex held in this goroutine", what)
+}
+
+// checkAddr flags &captured and &captured.field inside a goroutine;
+// &captured[workerLocalIndex] is the sanctioned result-slot address.
+func checkAddr(pass *analysis.Pass, allows *directive.AllowSet, lit *ast.FuncLit, ue *ast.UnaryExpr) {
+	base, viaIndex, localIdx := lvalueShape(pass, lit, ue.X)
+	if base == nil {
+		return
+	}
+	obj := pass.TypesInfo.Uses[base]
+	if obj == nil || localTo(obj, lit) {
+		return
+	}
+	if viaIndex && localIdx {
+		return
+	}
+	allows.Report(pass, ue,
+		"goroutine takes the address of shared %s; only &slice[i] with a worker-local index is a sanctioned result slot", obj.Name())
+}
+
+// lvalueShape peels an lvalue to its base identifier, reporting whether
+// the path goes through an index expression and, if so, whether every
+// index mentions only literal-local objects or constants.
+func lvalueShape(pass *analysis.Pass, lit *ast.FuncLit, e ast.Expr) (base *ast.Ident, viaIndex, localIdx bool) {
+	localIdx = true
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil, false, false
+			}
+			return x, viaIndex, localIdx
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			viaIndex = true
+			if !indexIsLocal(pass, lit, x.Index) {
+				localIdx = false
+			}
+			e = x.X
+		default:
+			return nil, false, false
+		}
+	}
+}
+
+// indexIsLocal reports whether every identifier in the index expression
+// is declared inside the goroutine literal or is a constant.
+func indexIsLocal(pass *analysis.Pass, lit *ast.FuncLit, idx ast.Expr) bool {
+	ok := true
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || !ok {
+			return ok
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return true
+		}
+		if !localTo(obj, lit) {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// lockedBefore reports whether the goroutine literal contains a
+// sync.Mutex/RWMutex Lock call positioned before at — the coarse
+// "mutex-guarded" exemption. It deliberately does not match Lock/Unlock
+// pairs; a goroutine that locks at all is presumed to know what it
+// guards, and the race detector gate covers the rest.
+func lockedBefore(pass *analysis.Pass, lit *ast.FuncLit, at token.Pos) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= at {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			(fn.Name() == "Lock" || fn.Name() == "RLock") &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkSends flags sends on provably unbuffered channels that are not a
+// select case: outside the select-with-cancellation pattern a blocked
+// receiver wedges the sender forever.
+func checkSends(pass *analysis.Pass, allows *directive.AllowSet, f *ast.File) {
+	// Sends that are the comm statement of a select case are sanctioned.
+	inSelect := make(map[*ast.SendStmt]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					if s, ok := cc.Comm.(*ast.SendStmt); ok {
+						inSelect[s] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			return true
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok || inSelect[send] {
+				return true
+			}
+			ch, ok := ast.Unparen(send.Chan).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[ch]
+			if obj == nil || !madeUnbuffered(pass, fd, obj) {
+				return true
+			}
+			allows.Report(pass, send,
+				"send on unbuffered channel %s outside a select can block forever; use select { case %s <- v: case <-ctx.Done(): }", ch.Name, ch.Name)
+			return true
+		})
+		return false // already walked the body
+	})
+}
+
+// madeUnbuffered reports whether obj is assigned make(chan T) with no
+// capacity argument somewhere in fn — the only case the analyzer can
+// prove unbuffered without cross-function tracking.
+func madeUnbuffered(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	unbuffered := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			lobj := pass.TypesInfo.Defs[id]
+			if lobj == nil {
+				lobj = pass.TypesInfo.Uses[id]
+			}
+			if lobj != obj {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fun.Name == "make" {
+				if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+					unbuffered = true
+				}
+			}
+		}
+		return true
+	})
+	return unbuffered
+}

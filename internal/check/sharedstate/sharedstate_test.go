@@ -1,0 +1,17 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/sharedstate"
+)
+
+// TestSharedState exercises the scheduler's sanctioned goroutine shapes
+// (argument hand-off, worker-owned result slots, mutex-guarded writes,
+// select-paired sends) and every flagged ownership violation: captured
+// loop variables, shared writes, leaked addresses, and bare sends on
+// unbuffered channels.
+func TestSharedState(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sharedstate.Analyzer, "sharded/sim")
+}

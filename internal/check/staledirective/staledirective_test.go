@@ -1,0 +1,17 @@
+package staledirective_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/staledirective"
+)
+
+// TestStaleDirective exercises the directive-freshness rules: unknown
+// kinds, allows naming unknown or out-of-scope analyzers, stray
+// placements (directives package, where the scoped analyzers never
+// look), and the same annotations accepted in a package their consumers
+// actually check (directives/sim).
+func TestStaleDirective(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), staledirective.Analyzer, "directives", "directives/sim")
+}

@@ -1,0 +1,88 @@
+// Package sim exercises the ctxflow analyzer: loops with no statically
+// evident bound must observe cancellation or carry //zbp:bounded, and a
+// //zbp:bounded that exempts nothing is itself reported.
+package sim
+
+import "context"
+
+// polls observes ctx.Err directly; accepted.
+func polls(ctx context.Context, work func() bool) {
+	for {
+		if ctx.Err() != nil || !work() {
+			return
+		}
+	}
+}
+
+// selects pairs every receive with ctx.Done; accepted.
+func selects(ctx context.Context, next chan int) int {
+	sum := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return sum
+		case v, ok := <-next:
+			if !ok {
+				return sum
+			}
+			sum += v
+		}
+	}
+}
+
+// drains documents its termination argument; accepted.
+func drains(next chan int) int {
+	sum := 0
+	//zbp:bounded next is closed by the producer when the trace ends
+	for v := range next {
+		sum += v
+	}
+	return sum
+}
+
+// counts is bounded by its condition; conditional loops are out of
+// scope, so no annotation is needed.
+func counts(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+// wedges neither observes the context nor documents a bound.
+func wedges(next chan int) int {
+	sum := 0
+	for v := range next { // want `unbounded loop does not observe cancellation`
+		sum += v
+	}
+	return sum
+}
+
+// spins is the classic uninterruptible worker loop.
+func spins(step func()) {
+	for { // want `unbounded loop does not observe cancellation`
+		step()
+	}
+}
+
+// stale claims termination for a loop whose bound is already its
+// condition: the annotation exempts nothing and must be deleted.
+func stale(n int) int {
+	sum := 0
+	//zbp:bounded terminates at n iterations // want `unused //zbp:bounded`
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+//zbp:allow ctxflow stale escape hatch // want `unused //zbp:allow ctxflow`
+
+// allowed departs intentionally; the escape hatch suppresses it.
+func allowed(step func()) {
+	//zbp:allow ctxflow run loop, interrupted by the signal handler in cmd
+	for {
+		step()
+	}
+}

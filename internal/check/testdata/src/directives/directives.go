@@ -1,0 +1,43 @@
+// Package directives exercises the staledirective analyzer: //zbp:
+// annotations that no analyzer in the suite would consume — unknown
+// kinds, allows naming unknown or out-of-scope analyzers, placements no
+// consumer reads — are flagged here, in a package outside the scoped
+// analyzers' reach.
+package directives
+
+//zbp:typo should be rejected // want `unknown //zbp: directive "typo"`
+
+//zbp:allow nosuch totally convincing reason // want `names unknown analyzer "nosuch"`
+
+//zbp:allow determinism keys are sorted upstream // want `which the determinism analyzer never checks`
+
+//zbp:allow erring best-effort cleanup // want `which the erring analyzer never checks`
+
+//zbp:wallclock progress logging only // want `//zbp:wallclock in package directives`
+
+//zbp:bounded terminates at trace EOF // want `//zbp:bounded in package directives`
+
+// scratch carries an in-scope allow: hotalloc checks every package, so
+// the suppression is live and accepted here.
+//
+//zbp:allow hotalloc scratch buffer reused across calls
+var scratch [64]byte
+
+//zbp:hotpath // want `stray //zbp:hotpath`
+var spins int
+
+//zbp:inert // want `stray //zbp:inert`
+var pure int
+
+// fast is annotated in the one placement the consumers read: a
+// function declaration's doc comment. Accepted.
+//
+//zbp:hotpath
+//zbp:inert
+func fast() int { return len(scratch) }
+
+//zbp:allow staledirective stale escape hatch // want `unused //zbp:allow staledirective`
+
+//zbp:allow staledirective the next directive is kept for the changelog
+//zbp:legacy retired kind, suppressed by the allow above
+func quiet() {}

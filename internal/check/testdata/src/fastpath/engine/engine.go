@@ -1,0 +1,55 @@
+// Package engine mirrors the real engine's bulk fast path: the anchor
+// rule pins //zbp:inert on every stepBulkOK eligibility predicate, and
+// cross-package callees are proven through facts exported when
+// fastpath/lib was analyzed.
+package engine
+
+import (
+	"fastpath/lib"
+)
+
+// Engine is a stand-in engine with a bulk fast path.
+type Engine struct {
+	cur   uint64
+	calls int
+}
+
+// stepBulkOK is the annotated anchor: reads, conversions, and inert
+// callees (in-package and cross-package) only.
+//
+//zbp:inert
+func (e *Engine) stepBulkOK(addr uint64) bool {
+	if lib.Align(addr, 64) != e.cur {
+		return false
+	}
+	return rowOf(addr) == e.cur
+}
+
+// rowOf forwards to an inert cross-package callee.
+//
+//zbp:inert
+func rowOf(addr uint64) uint64 { return lib.RowBase(addr) }
+
+// Bare is a second engine whose eligibility predicate lost its
+// annotation; the anchor rule refuses to let the proof root disappear.
+type Bare struct{ cur uint64 }
+
+func (b *Bare) stepBulkOK(addr uint64) bool { // want `bulk fast-path eligibility predicate stepBulkOK must be annotated //zbp:inert`
+	return addr == b.cur
+}
+
+// CrossBad calls a cross-package function that exported no inert fact.
+//
+//zbp:inert
+func CrossBad(addr uint64) uint64 {
+	return lib.Touch(addr) // want `inert function CrossBad calls lib.Touch, which is not annotated //zbp:inert in its own package`
+}
+
+// Mutates writes through its pointer receiver.
+//
+//zbp:inert
+func (e *Engine) Mutates() {
+	e.calls++ // want `inert function Mutates writes e.calls through a pointer`
+}
+
+//zbp:allow inertpath stale escape hatch // want `unused //zbp:allow inertpath`

@@ -1,0 +1,87 @@
+// Package lib mirrors zaddr: the pure address helpers the engine's
+// bulk eligibility scan calls across a package boundary. Its inert
+// annotations become analysis facts that the fastpath/engine fixture
+// imports.
+package lib
+
+// Align truncates a to a multiple of n (n must be a power of two).
+// Contract assertions may panic: they abort, they do not mutate.
+//
+//zbp:inert
+func Align(a, n uint64) uint64 {
+	if n == 0 || n&(n-1) != 0 {
+		panic("lib: Align size must be a power of two")
+	}
+	return a &^ (n - 1)
+}
+
+// RowBase is inert and calls another inert function in-package.
+//
+//zbp:inert
+func RowBase(a uint64) uint64 { return Align(a, 32) }
+
+// Touch is deliberately unannotated; inert callers anywhere must be
+// flagged.
+func Touch(a uint64) uint64 { return a + 1 }
+
+var counter int
+
+// Count mutates package state behind an inert claim.
+//
+//zbp:inert
+func Count() {
+	counter++ // want `inert function Count assigns to counter, declared outside the function`
+}
+
+// Bad calls a same-package function that is not annotated.
+//
+//zbp:inert
+func Bad(a uint64) uint64 {
+	return Touch(a) // want `inert function Bad calls Touch, which is not annotated //zbp:inert`
+}
+
+// Sums shows the accepted vocabulary: locals, len, conversions,
+// indexed reads, and inert callees.
+//
+//zbp:inert
+func Sums(xs [4]uint64) uint64 {
+	total := uint64(0)
+	for i := 0; i < len(xs); i++ {
+		total += RowBase(xs[i])
+	}
+	return total
+}
+
+// Src is a trace-source stand-in.
+type Src interface{ Next() uint64 }
+
+// Iface calls through an interface, which cannot be proven inert.
+//
+//zbp:inert
+func Iface(s Src) uint64 {
+	return s.Next() // want `inert function Iface calls interface method Next`
+}
+
+// Closures split the proof across a literal the analyzer will not
+// follow.
+//
+//zbp:inert
+func Closures() func() {
+	return func() {} // want `inert function Closures declares a function literal`
+}
+
+// Defers schedules work past the scan.
+//
+//zbp:inert
+func Defers(c chan int) {
+	defer close(c) // want `inert function Defers defers a call` `inert function Defers calls builtin close`
+}
+
+// Allowed departs intentionally; the escape hatch suppresses the
+// write.
+//
+//zbp:inert
+func Allowed() {
+	//zbp:allow inertpath fixture exercises the escape hatch
+	counter++
+}

@@ -1,0 +1,122 @@
+// Package sim exercises the sharedstate analyzer: the scheduler's
+// sanctioned worker shapes (argument hand-off, worker-owned result
+// slots, mutex-guarded regions, select-paired sends) pass, and the
+// historical ways the ownership rule has been broken are flagged.
+package sim
+
+import (
+	"context"
+	"sync"
+)
+
+// workers is the sanctioned shape: hand-off by argument, results
+// through worker-owned slots, join by WaitGroup.
+func workers(out []int) {
+	var wg sync.WaitGroup
+	for w := 0; w < len(out); w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out[id] = id * id
+		}(w)
+	}
+	wg.Wait()
+}
+
+// capturesLoop reads the iteration variable inside the closure instead
+// of taking it as an argument.
+func capturesLoop(out []int) {
+	for w := 0; w < len(out); w++ {
+		go func() {
+			out[w] = w // want `captures iteration variable w` `through a non-worker-local index`
+		}()
+	}
+}
+
+// sharedCounter increments a captured variable with no guard.
+func sharedCounter() int {
+	total := 0
+	done := make(chan bool, 1)
+	go func() {
+		total++ // want `goroutine writes shared variable total`
+		done <- true
+	}()
+	<-done
+	return total
+}
+
+// guarded writes captured state under a mutex taken in the same
+// goroutine; accepted.
+func guarded(mu *sync.Mutex, total *int, done chan<- struct{}) {
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		*total = *total + 1
+		done <- struct{}{}
+	}()
+}
+
+// slotAddr takes the address of its own result slot; accepted.
+func slotAddr(out []int, w int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(id int) {
+		defer wg.Done()
+		p := &out[id]
+		*p = 7
+	}(w)
+	wg.Wait()
+}
+
+// leaksAddress hands out a pointer to state the goroutine does not own.
+func leaksAddress(sink chan<- *int) {
+	counter := 0
+	go func() {
+		sink <- &counter // want `takes the address of shared counter`
+	}()
+}
+
+// feeds sends on an unbuffered channel with no cancellation case: a
+// dead consumer wedges the feeder forever.
+func feeds(n int) {
+	next := make(chan int)
+	go drain(next)
+	for i := 0; i < n; i++ {
+		next <- i // want `send on unbuffered channel next outside a select`
+	}
+	close(next)
+}
+
+// feedsWithCancel pairs every hand-off with cancellation; accepted.
+func feedsWithCancel(ctx context.Context, n int) {
+	next := make(chan int)
+	defer close(next)
+	go drain(next)
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func drain(c chan int) {
+	for range c {
+	}
+}
+
+//zbp:allow sharedstate stale escape hatch // want `unused //zbp:allow sharedstate`
+
+// allowed departs intentionally; the escape hatch suppresses it.
+func allowed() int {
+	hits := 0
+	done := make(chan bool, 1)
+	go func() {
+		//zbp:allow sharedstate fixture exercises the escape hatch
+		hits++
+		done <- true
+	}()
+	<-done
+	return hits
+}

@@ -49,6 +49,7 @@ func (e *Engine) StepBatch(ins []trace.Inst) {
 // value e.res.Instructions will hold when in is processed.
 //
 //zbp:hotpath
+//zbp:inert
 func (e *Engine) stepBulkOK(in *trace.Inst, insts int64) bool {
 	if in.Kind != trace.NotBranch {
 		return false

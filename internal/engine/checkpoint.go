@@ -178,6 +178,7 @@ func (e *Engine) Resume(src trace.Source, ck *Checkpoint) (Result, error) {
 				skipped, ck.Instructions)
 		}
 	}
+	//zbp:bounded terminates when src.Next reports end-of-trace
 	for {
 		in, ok := src.Next()
 		if !ok {

@@ -254,6 +254,7 @@ func (e *Engine) Run(src trace.Source, configName string) Result {
 	src.Reset()
 	e.res.Trace = src.Name()
 	e.res.Config = configName
+	//zbp:bounded terminates when src.Next reports end-of-trace
 	for {
 		in, ok := src.Next()
 		if !ok {

@@ -67,6 +67,7 @@ func parallelForCtx(ctx context.Context, n int, fn func(i int)) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//zbp:bounded next is closed by the feed loop below, which itself selects on ctx.Done
 			for i := range next {
 				run(i)
 			}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"bulkpreload/internal/trace"
+)
+
+// waitForGoroutines polls until the process goroutine count is back at
+// or below the pre-test baseline, failing with a full stack dump if the
+// scheduler leaked workers. Polling (rather than an exact delta) absorbs
+// runtime-internal goroutines that retire asynchronously.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d at baseline, %d after run\n%s",
+		baseline, runtime.NumGoroutine(), buf[:n])
+}
+
+// blockingSource is a trace source whose first Next parks until the
+// test releases it, signalling started so the test can cancel the run
+// while the unit is provably in flight. After release it reports EOF.
+type blockingSource struct {
+	started chan<- struct{}
+	release <-chan struct{}
+	parked  bool
+}
+
+func (s *blockingSource) Name() string { return "blocking" }
+func (s *blockingSource) Reset()       { s.parked = false }
+
+func (s *blockingSource) Next() (trace.Inst, bool) {
+	if !s.parked {
+		s.parked = true
+		s.started <- struct{}{}
+		<-s.release
+	}
+	return trace.Inst{}, false
+}
+
+// TestRunUnitsCancelWhileUnitBlocked cancels the context while a unit
+// is parked inside its source: the in-flight unit is allowed to finish
+// (the scheduler never kills a worker mid-unit), every not-yet-started
+// unit is reported as abandoned, RunUnits returns cleanly, and no
+// worker goroutine outlives the call.
+func TestRunUnitsCancelWhileUnitBlocked(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	units := schedTestUnits(4)
+	// A single worker serves its block in ascending index order: park
+	// unit 0 and every other unit is still pending when the context is
+	// canceled.
+	const blocked = 0
+	units[blocked].Label = "parked"
+	units[blocked].NewSource = func() trace.Source {
+		return &blockingSource{started: started, release: release}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunUnits(ctx, 1, units)
+		done <- err
+	}()
+
+	<-started // the parked unit is running
+	cancel()
+	close(release) // let the in-flight unit finish
+
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunUnits did not return after cancellation and release")
+	}
+	if err == nil {
+		t.Fatal("canceled run reported no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	for i := blocked + 1; i < len(units); i++ {
+		if !strings.Contains(err.Error(), units[i].Label) {
+			t.Errorf("abandoned unit %d (%s) not reported in: %v", i, units[i].Label, err)
+		}
+	}
+	if strings.Contains(err.Error(), "parked") {
+		t.Errorf("in-flight unit was reported abandoned: %v", err)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestRunUnitsPanicLeavesNoGoroutines re-runs the panic-isolation
+// scenario under a goroutine-leak check: a poisoned unit must not
+// strand its worker or wedge the pool's shutdown.
+func TestRunUnitsPanicLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	units := schedTestUnits(6)
+	units[2].Label = "poison"
+	units[2].NewSource = func() trace.Source { panic("synthetic shard failure") }
+	res, err := RunUnits(context.Background(), 3, units)
+	if err == nil || !strings.Contains(err.Error(), "unit 2 (poison) panicked") {
+		t.Fatalf("poisoned unit not surfaced: %v", err)
+	}
+	for i := range units {
+		if i != 2 && res[i].Instructions == 0 {
+			t.Fatalf("healthy unit %d lost its result", i)
+		}
+	}
+	waitForGoroutines(t, baseline)
+}

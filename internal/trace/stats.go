@@ -67,6 +67,7 @@ func Measure(src Source) Stats {
 	codeBytes := make(map[zaddr.Addr]uint8) // inst addr -> length
 	blocks := make(map[uint64]bool)
 
+	//zbp:bounded terminates when src.Next reports end-of-trace
 	for {
 		in, ok := src.Next()
 		if !ok {
@@ -106,6 +107,7 @@ func Measure(src Source) Stats {
 func TopBlocks(src Source, n int) []uint64 {
 	src.Reset()
 	counts := make(map[uint64]int64)
+	//zbp:bounded terminates when src.Next reports end-of-trace
 	for {
 		in, ok := src.Next()
 		if !ok {

@@ -214,6 +214,7 @@ func (s *SliceSource) Len() int { return len(s.ins) }
 func Collect(src Source) []Inst {
 	src.Reset()
 	var out []Inst
+	//zbp:bounded terminates when src.Next reports end-of-trace
 	for {
 		in, ok := src.Next()
 		if !ok {

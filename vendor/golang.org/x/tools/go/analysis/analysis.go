@@ -3,12 +3,13 @@
 //
 // This vendored copy is an offline, API-compatible subset of
 // golang.org/x/tools/go/analysis sufficient for the zbpcheck suite: the
-// Analyzer/Pass/Diagnostic contract and suggested fixes. It omits
-// facts, the Requires graph, and the upstream drivers (this module
-// ships its own loader in internal/check/load and its own fixture
-// harness in internal/check/analysistest). Analyzers written against
-// this package compile unmodified against the upstream module; see
-// docs/STATIC_ANALYSIS.md for why the subset is vendored.
+// Analyzer/Pass/Diagnostic contract, suggested fixes, and object /
+// package facts (see facts.go). It omits the Requires graph and the
+// upstream drivers (this module ships its own loader in
+// internal/check/load, its own fact store in internal/check/facts, and
+// its own fixture harness in internal/check/analysistest). Analyzers
+// written against this package compile unmodified against the upstream
+// module; see docs/STATIC_ANALYSIS.md for why the subset is vendored.
 package analysis
 
 import (
@@ -49,6 +50,14 @@ type Analyzer struct {
 	// ResultType is the type of the optional result of the Run
 	// function.
 	ResultType reflect.Type
+
+	// FactTypes indicates that this analyzer imports and exports Facts
+	// of the specified concrete types. An analyzer that uses facts may
+	// assume that its import path will be analyzed before any path that
+	// transitively imports it. Fact values must be gob-serializable;
+	// the driver round-trips every exported fact through gob so an
+	// analyzer cannot accidentally depend on shared mutable state.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -74,6 +83,36 @@ type Pass struct {
 	// ResultOf provides the inputs to this analysis that are required
 	// by the Requires field.
 	ResultOf map[*Analyzer]interface{}
+
+	// ImportObjectFact retrieves a fact associated with obj and stored
+	// by an earlier pass of the same analyzer (possibly over a
+	// dependency package). Given a value ptr of type *T, where *T
+	// satisfies Fact, ImportObjectFact copies the fact value into *ptr
+	// and returns true if a fact of that type exists; otherwise it
+	// leaves *ptr untouched and returns false.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// ExportObjectFact associates a fact of type *T with obj, replacing
+	// any previous fact of that type. obj must belong to the package
+	// being analyzed, or to one of its dependencies.
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportPackageFact retrieves a fact associated with package pkg,
+	// which must be this package or one of its dependencies, with the
+	// same copy-out contract as ImportObjectFact.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+
+	// ExportPackageFact associates a fact with the current package,
+	// replacing any previous fact of that type.
+	ExportPackageFact func(fact Fact)
+
+	// AllObjectFacts returns the object facts currently known to the
+	// pass, in unspecified order.
+	AllObjectFacts func() []ObjectFact
+
+	// AllPackageFacts returns the package facts currently known to the
+	// pass, in unspecified order.
+	AllPackageFacts func() []PackageFact
 }
 
 // Reportf is a helper function that reports a Diagnostic using the

@@ -1,0 +1,33 @@
+package analysis
+
+import "go/types"
+
+// A Fact is an intermediate fact produced during analysis.
+//
+// Each fact is associated with a named declaration (an object) or with
+// a package as a whole. A single object or package may have multiple
+// associated facts, but only one of any particular fact type.
+//
+// A Fact type must be a pointer type, all of whose elements are
+// exported (or an empty struct), as facts are serialized with
+// encoding/gob when they cross package boundaries: the driver stores
+// the gob encoding, never the live value, so facts behave identically
+// in-process and in a distributed build.
+//
+// The AFact method has no run-time effect; it exists only to mark the
+// type as a Fact and to keep unrelated types out of the fact store.
+type Fact interface {
+	AFact() // dummy method to avoid type errors
+}
+
+// An ObjectFact is a fact about a named object.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// A PackageFact is a fact about a package.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
