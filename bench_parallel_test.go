@@ -3,37 +3,42 @@ package bulkpreload_test
 // Parallel-pipeline engineering benchmarks: the BTB2 capacity sweep run
 // through the serial oracle and through the work-stealing batched
 // scheduler, plus the zero-alloc batch decoder in isolation. The
-// flag-gated TestEmitParallelBenchJSON packages the same measurements
-// as a machine-readable report:
+// flag-gated TestEmitParallelBenchJSON runs the same measurements
+// through the perfstat trajectory subsystem and appends one entry to
+// the committed benchmark history:
 //
 //	go test -run TestEmitParallelBenchJSON -parallel-bench-out BENCH_parallel.json
 //
-// reporting records/sec for both paths, the parallel speedup, decoder
+// recording records/sec for both paths, the parallel speedup, decoder
 // throughput and steady-state allocations, and the scheduler's
-// work-stealing accounting — with a differential check folded in so a
-// "fast" report can never come from a diverged pipeline.
+// work-stealing accounting — with the differential check folded in so a
+// "fast" entry can never come from a diverged pipeline. The CI gate
+// (`zsim -perfstat gate`) compares fresh runs against this history.
 
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"os"
-	"runtime"
 	"testing"
-	"time"
 
 	"bulkpreload/internal/core"
 	"bulkpreload/internal/engine"
+	"bulkpreload/internal/obs/perfstat"
 	"bulkpreload/internal/sim"
 	"bulkpreload/internal/trace"
 	"bulkpreload/internal/workload"
 )
 
-var parallelBenchOut = flag.String("parallel-bench-out", "",
-	"write the parallel pipeline benchmark report as JSON to this file (empty = skip)")
+var (
+	parallelBenchOut = flag.String("parallel-bench-out", "",
+		"append a perfstat trajectory entry to this file (empty = skip)")
+	parallelBenchRuns = flag.Int("parallel-bench-runs", 1,
+		"median-of-N repetitions for -parallel-bench-out")
+	parallelBenchLabel = flag.String("parallel-bench-label", "",
+		"label recorded in the -parallel-bench-out entry")
+)
 
 // capacitySweepUnits is the workload the parallel pipeline exists for:
 // a Figure 5-style BTB2 capacity sweep, expressed as independent
@@ -149,120 +154,61 @@ func BenchmarkBatchDecode(b *testing.B) {
 	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/s")
 }
 
-// parallelBenchReport is the BENCH_parallel.json schema.
-type parallelBenchReport struct {
-	GeneratedAt           string  `json:"generated_at"`
-	GOMAXPROCS            int     `json:"gomaxprocs"`
-	Workers               int     `json:"workers"`
-	Units                 int     `json:"units"`
-	Steals                int64   `json:"steals"`
-	Records               int64   `json:"records"`
-	SerialSeconds         float64 `json:"serial_seconds"`
-	ParallelSeconds       float64 `json:"parallel_seconds"`
-	SerialRecordsPerSec   float64 `json:"serial_records_per_sec"`
-	ParallelRecordsPerSec float64 `json:"parallel_records_per_sec"`
-	Speedup               float64 `json:"speedup"`
-	DecodeRecordsPerSec   float64 `json:"decode_records_per_sec"`
-	DecodeAllocsPerBatch  float64 `json:"decode_allocs_per_batch"`
-	DifferentialMismatch  int     `json:"differential_mismatches"`
-}
-
-// TestEmitParallelBenchJSON runs the capacity sweep through both paths
-// once, cross-checks them with the differential comparator, measures
-// decoder throughput and steady-state allocations, and writes the
-// whole report to -parallel-bench-out. Skipped unless the flag is set,
-// so the ordinary test run stays fast and file-free.
+// TestEmitParallelBenchJSON measures the perfstat scenarios — the same
+// workload the benchmarks above run — and appends one trajectory entry
+// to -parallel-bench-out (creating the file when missing), exactly like
+// `zsim -perfstat append`. Skipped unless the flag is set, so the
+// ordinary test run stays fast and file-free. The entry is refused if
+// the differential cross-check or the decoder's zero-alloc invariant
+// fails: a "fast" baseline can never come from a diverged pipeline.
 func TestEmitParallelBenchJSON(t *testing.T) {
 	if *parallelBenchOut == "" {
-		t.Skip("pass -parallel-bench-out=BENCH_parallel.json to emit the report")
+		t.Skip("pass -parallel-bench-out=BENCH_parallel.json to append a trajectory entry")
 	}
-	units := capacitySweepUnits()
-	ctx := context.Background()
-
-	start := time.Now()
-	serial, err := sim.RunUnitsSerial(units)
-	if err != nil {
-		t.Fatalf("serial oracle failed: %v", err)
-	}
-	serialSec := time.Since(start).Seconds()
-
-	start = time.Now()
-	parallel, stats, err := sim.RunUnitsStats(ctx, 0, units)
-	if err != nil {
-		t.Fatalf("parallel pipeline failed: %v", err)
-	}
-	parallelSec := time.Since(start).Seconds()
-
-	mismatches := 0
-	for i := range units {
-		for _, d := range sim.DiffResults(units[i].Label, serial[i], parallel[i]) {
-			t.Error(d)
-			mismatches++
-		}
-	}
-
-	// Decoder throughput: one full pass over an in-memory stream.
-	data := encodeBenchTrace(t, 200_000)
-	dec, err := trace.NewBatchDecoder(bytes.NewReader(data), trace.DefaultBatchCapacity)
-	if err != nil {
-		t.Fatal(err)
-	}
-	batch := trace.NewBatch(trace.DefaultBatchCapacity)
-	var decoded int64
-	start = time.Now()
-	for {
-		err := dec.Next(&batch)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			t.Fatal(err)
-		}
-		decoded += int64(len(batch.Ins))
-	}
-	decodeSec := time.Since(start).Seconds()
-
-	// Steady-state decoder allocations: one decoder over a stream long
-	// enough that the measured runs never hit EOF.
-	const allocRuns = 20
-	allocCap := 64
-	allocData := encodeBenchTrace(t, 4*allocRuns*allocCap)
-	adec, err := trace.NewBatchDecoder(bytes.NewReader(allocData), allocCap)
-	if err != nil {
-		t.Fatal(err)
-	}
-	abatch := trace.NewBatch(allocCap)
-	allocs := testing.AllocsPerRun(allocRuns, func() {
-		if err := adec.Next(&abatch); err != nil {
-			t.Fatal(err)
-		}
+	entry, err := perfstat.Run(context.Background(), perfstat.Options{
+		Runs:  *parallelBenchRuns,
+		Label: *parallelBenchLabel,
 	})
-
-	rep := parallelBenchReport{
-		GeneratedAt:           time.Now().UTC().Format(time.RFC3339),
-		GOMAXPROCS:            runtime.GOMAXPROCS(0),
-		Workers:               stats.Workers,
-		Units:                 stats.Units,
-		Steals:                stats.Steals,
-		Records:               totalInstructions(serial),
-		SerialSeconds:         serialSec,
-		ParallelSeconds:       parallelSec,
-		SerialRecordsPerSec:   float64(totalInstructions(serial)) / serialSec,
-		ParallelRecordsPerSec: float64(totalInstructions(parallel)) / parallelSec,
-		Speedup:               serialSec / parallelSec,
-		DecodeRecordsPerSec:   float64(decoded) / decodeSec,
-		DecodeAllocsPerBatch:  allocs,
-		DifferentialMismatch:  mismatches,
-	}
-	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	out = append(out, '\n')
-	if err := os.WriteFile(*parallelBenchOut, out, 0o644); err != nil {
+	for _, r := range perfstat.Compare(nil, entry, 0) {
+		t.Error(r)
+	}
+	if t.Failed() {
+		t.Fatal("refusing to record a diverged or allocating entry")
+	}
+	traj, err := perfstat.LoadTrajectory(*parallelBenchOut)
+	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: %.0f records/s serial, %.0f records/s parallel (%.2fx, %d workers, %d steals), decode %.0f records/s at %.1f allocs/batch",
-		*parallelBenchOut, rep.SerialRecordsPerSec, rep.ParallelRecordsPerSec,
-		rep.Speedup, rep.Workers, rep.Steals, rep.DecodeRecordsPerSec, allocs)
+	traj.Append(entry)
+	if err := traj.Write(*parallelBenchOut); err != nil {
+		t.Fatal(err)
+	}
+	sweep := entry.Scenario(perfstat.ScenarioCapacitySweep)
+	decode := entry.Scenario(perfstat.ScenarioBatchDecode)
+	t.Logf("appended entry %d to %s: %.0f records/s serial, %.0f records/s parallel (%.2fx, %d workers, %.0f steals), decode %.0f records/s at %.1f allocs/batch",
+		len(traj.Entries), *parallelBenchOut,
+		sweep.Metric(perfstat.MetricSerialRPS), sweep.Metric(perfstat.MetricParallelRPS),
+		sweep.Metric(perfstat.MetricSpeedup), entry.Workers, sweep.Metric(perfstat.MetricSteals),
+		decode.Metric(perfstat.MetricDecodeRPS), decode.Metric(perfstat.MetricDecodeAlloc))
+}
+
+// TestPerfstatMirrorsBenchmarks pins the contract the trajectory rests
+// on: the perfstat capacity-sweep scenario must measure exactly the
+// unit set BenchmarkCapacitySweep* measures, label for label —
+// otherwise committed entries and `go test -bench` stop describing the
+// same workload.
+func TestPerfstatMirrorsBenchmarks(t *testing.T) {
+	want := capacitySweepUnits()
+	got := perfstat.SweepUnitLabels()
+	if len(got) != len(want) {
+		t.Fatalf("perfstat sweep has %d units, benchmarks have %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i].Label {
+			t.Errorf("unit %d: perfstat %q, benchmark %q", i, got[i], want[i].Label)
+		}
+	}
 }

@@ -13,12 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"bulkpreload/internal/analysis"
 	"bulkpreload/internal/area"
 	"bulkpreload/internal/core"
 	"bulkpreload/internal/engine"
+	"bulkpreload/internal/obs/perfstat"
 	"bulkpreload/internal/predictor"
 	"bulkpreload/internal/report"
 	"bulkpreload/internal/sim"
@@ -63,6 +65,7 @@ func main() {
 		{"installdelay", installDelay},
 		{"faults", faults},
 		{"diffgate", diffgate},
+		{"perfstat", perfstatStudy},
 	}
 	if *list {
 		for _, e := range all {
@@ -123,6 +126,38 @@ func diffgate(insts int) {
 	}
 	fmt.Printf("  %d units (13 traces x 3 configs) bit-identical across both paths in %.1fs\n",
 		len(units), time.Since(start).Seconds())
+}
+
+// perfstatStudy runs the benchmark-trajectory scenarios once at the
+// requested trace length and prints the entry as a table — the same
+// measurements `zsim -perfstat` records into BENCH_parallel.json, here
+// as a quick interactive readout.
+func perfstatStudy(insts int) {
+	fmt.Println("Benchmark trajectory scenarios (zsim -perfstat, BENCH_parallel.json)")
+	for _, s := range perfstat.Scenarios() {
+		fmt.Printf("  %-15s %s\n", s.Name, s.Description)
+	}
+	entry, err := perfstat.Run(context.Background(), perfstat.Options{
+		Workers:           workers,
+		Runs:              1,
+		SweepInstructions: insts,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: perfstat: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  measured at GOMAXPROCS=%d, %d workers:\n", entry.GOMAXPROCS, entry.Workers)
+	for _, s := range entry.Scenarios {
+		fmt.Printf("  %s (%d records):\n", s.Name, s.Records)
+		names := make([]string, 0, len(s.Metrics))
+		for name := range s.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("    %-26s %14.4g\n", name, s.Metrics[name])
+		}
+	}
 }
 
 // must unwraps a (value, error) study result; any shard failure aborts

@@ -17,6 +17,9 @@
 //	zsim -file huge.zbpt -stream                      # constant-memory decode
 //	zsim -config btb2 -batch                          # batched zero-alloc pipeline
 //	zsim -compare -workers 0                          # fan configs across cores
+//	zsim -batch -spans spans.json                     # hierarchical span trace (Perfetto)
+//	zsim -metrics-addr :9090 -pprof                   # live pprof + runtime metrics
+//	zsim -perfstat gate                               # benchmark regression gate
 //	zsim -list
 package main
 
@@ -34,6 +37,7 @@ import (
 	"bulkpreload/internal/fault"
 	"bulkpreload/internal/obs"
 	"bulkpreload/internal/obs/export"
+	"bulkpreload/internal/obs/span"
 	"bulkpreload/internal/report"
 	"bulkpreload/internal/sim"
 	"bulkpreload/internal/trace"
@@ -70,6 +74,16 @@ func main() {
 		workers = flag.Int("workers", 1, "with -compare: fan the three configurations across this many workers (0 = GOMAXPROCS)")
 		batched = flag.Bool("batch", false, "drive the engine through the batched zero-alloc pipeline (bit-identical results; ignored with -resume)")
 		stream  = flag.Bool("stream", false, "with -file: stream the trace from disk through the bulk batch decoder in constant memory (tolerates a damaged tail like -salvage)")
+
+		spansPath = flag.String("spans", "", "write a hierarchical span trace (study/worker/unit/phase/batch, steal instants) to this file: .jsonl = JSON Lines, anything else = Chrome trace_event for Perfetto; routes the run through the batched scheduler")
+		pprofFlag = flag.Bool("pprof", false, "with -metrics-addr: also expose net/http/pprof profiles and /debug/runtime (runtime/metrics as JSON)")
+
+		perfstatMode   = flag.String("perfstat", "", "benchmark-trajectory mode: run (print one entry as JSON), gate (compare against the trajectory baseline, exit 1 on regression), append (measure and append to the trajectory)")
+		perfstatFile   = flag.String("perfstat-file", "BENCH_parallel.json", "trajectory file read by -perfstat gate and written by -perfstat append")
+		perfstatOut    = flag.String("perfstat-out", "", "also write the freshly measured entry as JSON to this file (any -perfstat mode)")
+		perfstatRuns   = flag.Int("perfstat-runs", 3, "median-of-N repetitions per -perfstat invocation")
+		perfstatThresh = flag.Float64("perfstat-threshold", 0.15, "with -perfstat gate: max fractional drop in throughput metrics before the gate fails")
+		perfstatLabel  = flag.String("perfstat-label", "", "with -perfstat run/append: free-form label recorded in the entry (e.g. a PR number)")
 	)
 	flag.Parse()
 
@@ -78,6 +92,26 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	if *perfstatMode != "" {
+		// -workers defaults to 1 for -compare; perfstat wants GOMAXPROCS
+		// unless the user explicitly asked for a worker count.
+		pw := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				pw = *workers
+			}
+		})
+		os.Exit(runPerfstat(perfstatConfig{
+			mode:      *perfstatMode,
+			file:      *perfstatFile,
+			out:       *perfstatOut,
+			runs:      *perfstatRuns,
+			threshold: *perfstatThresh,
+			label:     *perfstatLabel,
+			workers:   pw,
+		}))
 	}
 
 	if *specFile != "" {
@@ -112,6 +146,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pprofFlag && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "zsim: -pprof requires -metrics-addr")
+		os.Exit(2)
+	}
+
+	if *spansPath != "" && *resume != "" {
+		fmt.Fprintln(os.Stderr, "zsim: -spans is incompatible with -resume (the traced scheduler starts units from instruction zero)")
+		os.Exit(2)
+	}
+
 	src, err := loadSource(*file, *traceName, *insts, *salvage, *stream)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zsim:", err)
@@ -136,11 +180,22 @@ func main() {
 			params = engine.HardwareParams()
 		}
 		params.WarmupInstructions = *warmup
-		c := compareConfigs(src, params, *workers)
+		var spanTrace *span.Trace
+		if *spansPath != "" {
+			spanTrace = span.NewTrace()
+		}
+		c := compareConfigs(src, params, *workers, spanTrace)
 		fmt.Println(c)
 		fmt.Printf("  CPI: %s %.4f | %s %.4f | %s %.4f\n",
 			sim.ConfigNoBTB2, c.Base.CPI(), sim.ConfigBTB2, c.BTB2.CPI(),
 			sim.ConfigLargeL1, c.LargeBTB1.CPI())
+		if spanTrace != nil {
+			if err := writeSpans(*spansPath, spanTrace); err != nil {
+				fmt.Fprintln(os.Stderr, "zsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("spans: wrote %d events to %s\n", spanTrace.Len(), *spansPath)
+		}
 		return
 	}
 
@@ -240,15 +295,22 @@ func main() {
 		}
 		params.SnapshotSink = live.Publish
 		server = obs.NewServer(live)
+		if *pprofFlag {
+			server.EnableProfiling()
+		}
 		addr, err := server.Start(*metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "zsim:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("serving live metrics on http://%s/metrics\n", addr)
+		if *pprofFlag {
+			fmt.Printf("serving profiles on http://%s/debug/pprof/ and runtime metrics on http://%s/debug/runtime\n", addr, addr)
+		}
 	}
 
 	var r engine.Result
+	var spanTrace *span.Trace
 	eng := engine.New(cfgs[*config], params)
 	if *resume != "" {
 		ck, err := engine.ReadCheckpointFile(*resume)
@@ -262,6 +324,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "zsim:", err)
 			os.Exit(1)
 		}
+	} else if *spansPath != "" {
+		// Route the run through the traced batched scheduler: the span
+		// tree covers scheduling, the engine phases and batches, and (with
+		// -stream) the decoder refills. Results stay bit-identical to the
+		// untraced pipeline — the sim package's differential gate pins it.
+		spanTrace = span.NewTrace()
+		unit := sim.Unit{
+			Label:      src.Name() + "/" + *config,
+			NewSource:  func() trace.Source { return src },
+			Config:     cfgs[*config],
+			Params:     params,
+			ConfigName: *config,
+		}
+		res, _, err := sim.RunUnitsTraced(context.Background(), 1, []sim.Unit{unit}, spanTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		r = res[0]
 	} else if *batched {
 		r = eng.RunBatched(src, *config)
 	} else {
@@ -313,6 +394,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if spanTrace != nil {
+		if err := writeSpans(*spansPath, spanTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("spans: wrote %d events to %s\n", spanTrace.Len(), *spansPath)
+	}
 }
 
 // reconcile cross-checks exported per-kind event counts against the
@@ -332,12 +420,13 @@ func reconcile(what string, counts [core.NumEventKinds]int64, final *obs.Snapsho
 }
 
 // compareConfigs runs the three Table 3 configurations. workers == 1
-// uses the serial path directly on src; any other count materializes
-// the trace once and fans the three runs across the work-stealing
-// scheduler (bit-identical results either way — the differential gate
-// in internal/sim pins that).
-func compareConfigs(src trace.Source, params engine.Params, workers int) sim.Comparison {
-	if workers == 1 {
+// without tracing uses the serial path directly on src; any other
+// combination materializes the trace once and fans the three runs
+// across the work-stealing scheduler (bit-identical results either way
+// — the differential gate in internal/sim pins that). A non-nil tr
+// collects the span hierarchy of the scheduled runs.
+func compareConfigs(src trace.Source, params engine.Params, workers int, tr *span.Trace) sim.Comparison {
+	if workers == 1 && tr == nil {
 		return sim.Compare(src, params)
 	}
 	name := src.Name()
@@ -356,7 +445,7 @@ func compareConfigs(src trace.Source, params engine.Params, workers int) sim.Com
 		unit(core.DefaultConfig(), sim.ConfigBTB2),
 		unit(core.LargeOneLevelConfig(), sim.ConfigLargeL1),
 	}
-	res, err := sim.RunUnits(context.Background(), workers, units)
+	res, _, err := sim.RunUnitsTraced(context.Background(), workers, units, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zsim:", err)
 		os.Exit(1)

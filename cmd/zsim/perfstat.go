@@ -1,0 +1,140 @@
+package main
+
+// The -perfstat modes drive the benchmark-trajectory subsystem from the
+// command line and CI:
+//
+//	zsim -perfstat run                      measure and print one entry
+//	zsim -perfstat gate                     measure, compare to the trajectory
+//	                                        baseline, exit 1 on regression
+//	zsim -perfstat append -perfstat-label "PR 7"
+//	                                        measure and append to the trajectory
+//
+// The gate compares throughput only against the most recent trajectory
+// entry recorded at the same GOMAXPROCS; correctness metrics
+// (differential mismatches, decoder allocations) are pinned at zero
+// regardless.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bulkpreload/internal/obs/perfstat"
+)
+
+type perfstatConfig struct {
+	mode      string  // run | gate | append
+	file      string  // trajectory path for gate/append
+	out       string  // optional path for the measured entry JSON
+	runs      int     // median-of-N
+	threshold float64 // max fractional throughput drop for gate
+	label     string  // recorded in the entry for run/append
+	workers   int     // scheduler workers; 0 = GOMAXPROCS
+}
+
+func runPerfstat(cfg perfstatConfig) int {
+	switch cfg.mode {
+	case "run", "gate", "append":
+	default:
+		fmt.Fprintf(os.Stderr, "zsim: unknown -perfstat mode %q (want run, gate, append)\n", cfg.mode)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "perfstat: measuring %d scenarios, median of %d run(s)\n",
+		len(perfstat.Scenarios()), cfg.runs)
+	entry, err := perfstat.Run(context.Background(), perfstat.Options{
+		Workers: cfg.workers,
+		Runs:    cfg.runs,
+		Label:   cfg.label,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsim:", err)
+		return 1
+	}
+	printEntrySummary(os.Stderr, entry)
+	if cfg.out != "" {
+		out, err := json.MarshalIndent(entry, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.out, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			return 1
+		}
+	}
+
+	switch cfg.mode {
+	case "run":
+		out, err := json.MarshalIndent(entry, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			return 1
+		}
+		fmt.Println(string(out))
+		return 0
+
+	case "gate":
+		traj, err := perfstat.LoadTrajectory(cfg.file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			return 1
+		}
+		baseline := traj.Baseline(entry.GOMAXPROCS)
+		if baseline == nil {
+			fmt.Fprintf(os.Stderr, "perfstat: no baseline in %s at GOMAXPROCS=%d; gating correctness metrics only\n",
+				cfg.file, entry.GOMAXPROCS)
+		} else {
+			fmt.Fprintf(os.Stderr, "perfstat: baseline %q (%s), threshold %.0f%%\n",
+				baseline.Label, baseline.GeneratedAt, 100*cfg.threshold)
+		}
+		regs := perfstat.Compare(baseline, entry, cfg.threshold)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "perfstat: REGRESSION:", r)
+			}
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "perfstat: gate passed")
+		return 0
+
+	default: // append
+		// Refuse to record a diverged or allocating entry as a baseline:
+		// a nil-baseline Compare checks exactly the correctness metrics.
+		if regs := perfstat.Compare(nil, entry, cfg.threshold); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "perfstat: refusing to append:", r)
+			}
+			return 1
+		}
+		traj, err := perfstat.LoadTrajectory(cfg.file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			return 1
+		}
+		traj.Append(entry)
+		if err := traj.Write(cfg.file); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "perfstat: appended entry %d to %s\n", len(traj.Entries), cfg.file)
+		return 0
+	}
+}
+
+// printEntrySummary renders the entry's headline numbers for humans;
+// the JSON carries the full detail.
+func printEntrySummary(w *os.File, e perfstat.Entry) {
+	fmt.Fprintf(w, "perfstat: GOMAXPROCS=%d workers=%d runs=%d\n", e.GOMAXPROCS, e.Workers, e.Runs)
+	if s := e.Scenario(perfstat.ScenarioCapacitySweep); s != nil {
+		fmt.Fprintf(w, "perfstat: %s: %d units, %d records, serial %.0f rec/s, parallel %.0f rec/s (%.2fx, %.0f steals, %d mismatches)\n",
+			s.Name, s.Units, s.Records,
+			s.Metric(perfstat.MetricSerialRPS), s.Metric(perfstat.MetricParallelRPS),
+			s.Metric(perfstat.MetricSpeedup), s.Metric(perfstat.MetricSteals),
+			int(s.Metric(perfstat.MetricMismatches)))
+	}
+	if s := e.Scenario(perfstat.ScenarioBatchDecode); s != nil {
+		fmt.Fprintf(w, "perfstat: %s: %d records, %.0f rec/s, %.1f allocs/batch\n",
+			s.Name, s.Records, s.Metric(perfstat.MetricDecodeRPS), s.Metric(perfstat.MetricDecodeAlloc))
+	}
+}

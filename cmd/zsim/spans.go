@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"bulkpreload/internal/obs/export"
+	"bulkpreload/internal/obs/span"
+)
+
+// writeSpans renders a collected span trace to path. The extension
+// picks the format: .jsonl writes one JSON object per event for ad-hoc
+// tooling (jq, log pipelines); anything else writes a Chrome
+// trace_event array loadable in Perfetto or chrome://tracing, with one
+// process lane per scheduler worker.
+func writeSpans(path string, tr *span.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	evs := tr.Events()
+	if strings.HasSuffix(path, ".jsonl") {
+		err = export.WriteJSONLSpans(f, evs)
+	} else {
+		err = export.WriteChromeSpans(f, evs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("span export %s: %w", path, err)
+	}
+	return nil
+}

@@ -7,6 +7,17 @@
 // was never enumerated silently vanishes from snapshots, Prometheus
 // text, and phase timelines, which runtime reconciliation can only
 // catch on code paths a test happens to drive.
+//
+// In packages that import the span tracer, the analyzer additionally
+// keeps hot paths and span instrumentation in lockstep:
+//
+//   - A struct with //zbp:hotpath methods must declare a *span.Recorder
+//     field (nil is the zero-cost disabled path) or carry an explicit
+//     //zbp:allow obsreg opting it out — otherwise a subsystem on the
+//     hot path silently falls out of the span hierarchy.
+//   - An unexported *span.Recorder field must be assigned somewhere in
+//     its package; nothing outside the package can wire it, so an
+//     unassigned one means spans recorded through it can never appear.
 package obsreg
 
 import (
@@ -20,27 +31,35 @@ import (
 
 const name = "obsreg"
 
+// fieldDecl is one struct field of interest (an obs metric or a span
+// recorder) with enough context to report on it.
+type fieldDecl struct {
+	obj    *types.Var
+	strct  string
+	node   *ast.Field
+	nameID *ast.Ident
+}
+
 // Analyzer is the obsreg analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: name,
-	Doc:  "every obs metric field must be wired into an obs.Registry",
+	Doc:  "every obs metric field must be wired into an obs.Registry; hot-path structs must carry span instrumentation",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if directive.PkgLastElem(pass.Pkg.Path()) == "obs" {
-		return nil, nil // the registry implementation itself
+	switch directive.PkgLastElem(pass.Pkg.Path()) {
+	case "obs", "span":
+		return nil, nil // the registry / tracer implementations themselves
 	}
 	allows := directive.CollectAllows(pass, name)
 
-	// Pass 1: every obs metric field declared in this package.
-	type fieldDecl struct {
-		obj    *types.Var
-		strct  string
-		node   *ast.Field
-		nameID *ast.Ident
-	}
+	// Pass 1: every obs metric field and span recorder field declared in
+	// this package, plus each struct's type spec for span reporting.
 	var declared []fieldDecl
+	var recorders []fieldDecl
+	hasRecorder := map[string]bool{}  // struct name -> declares a recorder field
+	typeSpecs := map[string]*ast.TypeSpec{}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
@@ -51,18 +70,27 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if !ok {
 				return true
 			}
+			typeSpecs[ts.Name.Name] = ts
 			for _, field := range st.Fields.List {
 				for _, name := range field.Names {
 					obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
-					if !ok || !isObsMetricType(obj.Type()) {
+					if !ok {
 						continue
 					}
-					declared = append(declared, fieldDecl{obj: obj, strct: ts.Name.Name, node: field, nameID: name})
+					d := fieldDecl{obj: obj, strct: ts.Name.Name, node: field, nameID: name}
+					switch {
+					case isObsMetricType(obj.Type()):
+						declared = append(declared, d)
+					case isSpanRecorderType(obj.Type()):
+						hasRecorder[ts.Name.Name] = true
+						recorders = append(recorders, d)
+					}
 				}
 			}
 			return true
 		})
 	}
+	checkSpans(pass, allows, recorders, hasRecorder, typeSpecs)
 	if len(declared) == 0 {
 		allows.ReportUnused(pass)
 		return nil, nil
@@ -109,6 +137,117 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	}
 	allows.ReportUnused(pass)
 	return nil, nil
+}
+
+// checkSpans enforces the span-instrumentation rules in packages that
+// import the span tracer: hot-path structs declare a recorder,
+// unexported recorder fields get assigned.
+func checkSpans(pass *analysis.Pass, allows *directive.AllowSet,
+	recorders []fieldDecl, hasRecorder map[string]bool, typeSpecs map[string]*ast.TypeSpec) {
+	if !importsSpan(pass.Pkg) {
+		return
+	}
+
+	// Structs with //zbp:hotpath methods must declare a recorder field.
+	flagged := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !directive.HasHotpath(fn) {
+				continue
+			}
+			strct := recvTypeName(pass, fn)
+			if strct == "" || hasRecorder[strct] || flagged[strct] {
+				continue
+			}
+			ts, ok := typeSpecs[strct]
+			if !ok {
+				continue // receiver type declared in another package's file set
+			}
+			flagged[strct] = true
+			allows.Report(pass, ts.Name,
+				"struct %s has //zbp:hotpath methods but declares no *span.Recorder field; thread the span tracer through it (nil = zero-cost disabled path) or annotate the type with //zbp:allow obsreg",
+				strct)
+		}
+	}
+
+	// Unexported recorder fields must be assigned somewhere in the
+	// package: nothing outside it can wire them. Exported ones are
+	// caller-set configuration (e.g. engine.Params.Spans) and exempt.
+	assigned := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						if s, ok := pass.TypesInfo.Selections[sel]; ok {
+							if v, ok := s.Obj().(*types.Var); ok {
+								assigned[v] = true
+							}
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+						assigned[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range recorders {
+		if r.obj.Exported() || assigned[r.obj] {
+			continue
+		}
+		allows.Report(pass, r.nameID,
+			"span recorder field %s.%s is never assigned in this package; spans recorded through it can never be enabled",
+			r.strct, r.obj.Name())
+	}
+}
+
+// importsSpan reports whether pkg imports a span tracer package
+// (matched by package-path last element, like the obs match).
+func importsSpan(pkg *types.Package) bool {
+	for _, imp := range pkg.Imports() {
+		if directive.PkgLastElem(imp.Path()) == "span" {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName resolves a method's receiver base type name.
+func recvTypeName(pass *analysis.Pass, fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isSpanRecorderType reports whether t is *span.Recorder (by name, so
+// testdata stubs behave like the real package).
+func isSpanRecorderType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil &&
+		directive.PkgLastElem(obj.Pkg().Path()) == "span"
 }
 
 // isObsMetricType reports whether t is obs.Counter, obs.Gauge, or

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bulkpreload/internal/core"
+	"bulkpreload/internal/obs/span"
 	"bulkpreload/internal/predictor"
 	"bulkpreload/internal/trace"
 	"bulkpreload/internal/zaddr"
@@ -35,10 +36,12 @@ func (e *Engine) StepBatch(ins []trace.Inst) {
 			e.res.Instructions += k
 			e.clock += e.params.DispatchTicks * predictor.Ticks(k)
 			e.hier.ObserveCompleteBatch(ins[i:j])
+			e.bulkRecords += k
 			i = j
 			continue
 		}
 		e.step(ins[i])
+		e.slowRecords++
 		i++
 	}
 }
@@ -90,15 +93,38 @@ func (e *Engine) stepBulkOK(in *trace.Inst, insts int64) bool {
 // pulls instructions through a reusable batch (see trace.FillBatch) and
 // steps them with StepBatch. Results are bit-identical to Run on the
 // same source.
+//
+// When Params.Spans is set, the run is traced: one phase span per
+// warmup/steady region (rotated at batch granularity — the first batch
+// that crosses the warmup boundary closes the warmup span) and one
+// batch span per StepBatch call carrying bulk/slow fast-path
+// attribution. Span data never influences the simulation.
 func (e *Engine) RunBatched(src trace.Source, configName string) Result {
 	e.reset()
 	src.Reset()
 	e.res.Trace = src.Name()
 	e.res.Config = configName
+	rec := e.spans
+	phaseName := "steady"
+	if e.params.WarmupInstructions > 0 {
+		phaseName = "warmup"
+	}
+	phase := rec.Start(span.KindPhase, phaseName, e.params.SpanParent)
+	phaseStart := int64(0)
 	b := trace.NewBatch(trace.DefaultBatchCapacity)
 	for trace.FillBatch(src, &b) > 0 {
+		bulk0, slow0 := e.bulkRecords, e.slowRecords
+		sb := rec.Start(span.KindBatch, "batch", phase.ID())
 		e.StepBatch(b.Ins)
+		sb.EndArgs(e.bulkRecords-bulk0, e.slowRecords-slow0)
+		if rec.Enabled() && phaseName == "warmup" && e.warmTaken {
+			phase.EndArgs(e.res.Instructions-phaseStart, 0)
+			phaseName = "steady"
+			phaseStart = e.res.Instructions
+			phase = rec.Start(span.KindPhase, phaseName, e.params.SpanParent)
+		}
 	}
+	phase.EndArgs(e.res.Instructions-phaseStart, 0)
 	e.finishResult()
 	return e.res
 }

@@ -21,6 +21,7 @@ import (
 	"bulkpreload/internal/core"
 	"bulkpreload/internal/fault"
 	"bulkpreload/internal/obs"
+	"bulkpreload/internal/obs/span"
 	"bulkpreload/internal/predictor"
 )
 
@@ -120,6 +121,20 @@ type Params struct {
 	// CheckpointInterval is positive (a checkpoint nobody persists is
 	// pure overhead).
 	CheckpointSink func(*Checkpoint) `json:"-"`
+
+	// Spans, when non-nil, receives hierarchical span events from the
+	// batched stepping path: one phase span per warmup/steady region and
+	// one batch span per StepBatch call, with bulk/slow fast-path
+	// attribution. The recorder is goroutine-local like the obs registry
+	// — it must belong to the goroutine calling RunBatched. Span data
+	// measures host wall time and never reaches Result or the metrics
+	// registry (the serial-oracle differential gate compares those
+	// bit-for-bit). Nil disables tracing at zero cost.
+	Spans *span.Recorder `json:"-"`
+
+	// SpanParent is the span the run's phase spans attach under (the
+	// scheduler's unit span); zero makes them roots.
+	SpanParent span.ID `json:"-"`
 }
 
 // DefaultParams returns the simulation-mode parameter set used throughout

@@ -1,0 +1,110 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"bulkpreload/internal/obs/span"
+)
+
+// Span exporters: unlike the streaming core.Event exporters above,
+// spans are collected in memory by span.Trace (a study produces
+// thousands of spans, not millions of events) and written once at the
+// end of the run. WriteChromeSpans renders the flame-style timeline —
+// one Chrome "process" per worker, spans nested by time containment —
+// and WriteJSONLSpans the line-oriented form for jq/pandas.
+
+// WriteChromeSpans writes events as a Chrome trace_event JSON array:
+// complete events ("ph":"X") for spans and thread-scoped instants
+// ("ph":"i") for markers, with pid = worker number (worker 0 labelled
+// "scheduler", others "worker N") so Perfetto shows one track per
+// worker and nests study/worker/unit/phase/batch/refill spans by
+// containment. Timestamps are microseconds since the trace epoch.
+func WriteChromeSpans(w io.Writer, events []span.Event) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	wrote := false
+	sep := func() error {
+		if wrote {
+			_, err := bw.WriteString(",\n")
+			return err
+		}
+		wrote = true
+		return nil
+	}
+	// One process per worker seen in the event stream, labelled once.
+	labelled := make(map[int]bool)
+	for _, e := range events {
+		if labelled[e.Worker] {
+			continue
+		}
+		labelled[e.Worker] = true
+		name := fmt.Sprintf("worker %d", e.Worker)
+		if e.Worker == 0 {
+			name = "scheduler"
+		}
+		if err := sep(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw,
+			`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%q}}`,
+			e.Worker, name); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		if err := sep(); err != nil {
+			return err
+		}
+		ts := float64(e.Start) / 1e3
+		if e.Instant {
+			if _, err := fmt.Fprintf(bw,
+				`{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":1,"args":{%s}}`,
+				e.Name, e.Kind.String(), ts, e.Worker, spanArgs(e)); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(bw,
+			`{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":1,"args":{%s}}`,
+			e.Name, e.Kind.String(), ts, float64(e.Dur)/1e3, e.Worker, spanArgs(e)); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// spanArgs renders an event's args object body: span identity plus the
+// kind's named arguments (unnamed args are omitted).
+func spanArgs(e span.Event) string {
+	s := fmt.Sprintf(`"id":%d,"parent":%d`, uint64(e.ID), uint64(e.Parent))
+	n1, n2 := e.Kind.ArgNames()
+	if n1 != "" {
+		s += fmt.Sprintf(`,%q:%d`, n1, e.Arg1)
+	}
+	if n2 != "" {
+		s += fmt.Sprintf(`,%q:%d`, n2, e.Arg2)
+	}
+	return s
+}
+
+// WriteJSONLSpans writes one JSON object per event: kind, name, worker,
+// span identity, times in nanoseconds since the trace epoch, and the
+// kind's named arguments.
+func WriteJSONLSpans(w io.Writer, events []span.Event) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw,
+			`{"kind":%q,"name":%q,"worker":%d,"start_ns":%d,"dur_ns":%d,"instant":%t,%s}`+"\n",
+			e.Kind.String(), e.Name, e.Worker, e.Start, e.Dur, e.Instant, spanArgs(e)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

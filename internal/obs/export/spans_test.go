@@ -1,0 +1,101 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bulkpreload/internal/obs/span"
+)
+
+// buildSpans records a small two-worker tree and returns its events.
+func buildSpans(t *testing.T) []span.Event {
+	t.Helper()
+	tr := span.NewTrace()
+	sched := tr.NewRecorder(0)
+	study := sched.Start(span.KindStudy, "study", 0)
+	w1 := tr.NewRecorder(1)
+	ws := w1.Start(span.KindWorker, "worker", study.ID())
+	us := w1.Start(span.KindUnit, "oltp-1/base", ws.ID())
+	us.EndArgs(1000, 0)
+	w1.Instant(span.KindSteal, "steal", ws.ID(), 2, 0)
+	ws.EndArgs(1, 1)
+	study.EndArgs(1, 1)
+	tr.Adopt(sched)
+	tr.Adopt(w1)
+	return tr.Events()
+}
+
+func TestWriteChromeSpansIsValidJSON(t *testing.T) {
+	evs := buildSpans(t)
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("chrome span output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, instant, meta int
+	pids := map[float64]bool{}
+	for _, obj := range arr {
+		switch obj["ph"] {
+		case "X":
+			complete++
+			pids[obj["pid"].(float64)] = true
+			if obj["dur"] == nil {
+				t.Errorf("complete event missing dur: %v", obj)
+			}
+		case "i":
+			instant++
+		case "M":
+			meta++
+		}
+	}
+	if complete != 3 {
+		t.Errorf("got %d complete events, want 3 (study, worker, unit)", complete)
+	}
+	if instant != 1 {
+		t.Errorf("got %d instants, want 1 (steal)", instant)
+	}
+	if meta != 2 {
+		t.Errorf("got %d metadata events, want 2 (scheduler + worker 1)", meta)
+	}
+	if !pids[0] || !pids[1] {
+		t.Errorf("expected spans on pids 0 and 1, got %v", pids)
+	}
+	// Named args must appear under the kind's labels.
+	if !strings.Contains(buf.String(), `"instructions":1000`) {
+		t.Error("unit span args missing instructions label")
+	}
+}
+
+func TestWriteJSONLSpans(t *testing.T) {
+	evs := buildSpans(t)
+	var buf bytes.Buffer
+	if err := WriteJSONLSpans(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(evs) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(evs))
+	}
+	kinds := map[string]int{}
+	for _, ln := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("line is not valid JSON: %v\n%s", err, ln)
+		}
+		kinds[obj["kind"].(string)]++
+		if obj["id"].(float64) == 0 {
+			t.Errorf("span with zero id: %s", ln)
+		}
+	}
+	want := map[string]int{"study": 1, "worker": 1, "unit": 1, "steal": 1}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Errorf("kind %s: got %d, want %d", k, kinds[k], n)
+		}
+	}
+}

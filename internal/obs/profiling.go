@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+)
+
+// Runtime profiling surface: EnableProfiling extends a Server with the
+// standard net/http/pprof handlers (CPU/heap/goroutine/block profiles,
+// execution traces) and a /debug/runtime endpoint rendering the Go
+// runtime/metrics catalogue as JSON — GC pause distributions, heap
+// occupancy, scheduler latencies — next to the simulator's own
+// /metrics. Profiling is opt-in (zsim -pprof): the pprof handlers can
+// observably perturb a run (stop-the-world heap dumps, 1% CPU for the
+// profiler), so they stay off unless asked for.
+
+// EnableProfiling mounts the pprof and runtime-metrics endpoints on the
+// server's handler. Call it after NewServer and before Start:
+//
+//	/debug/pprof/          index of available profiles
+//	/debug/pprof/profile   30s CPU profile (go tool pprof)
+//	/debug/pprof/heap      heap allocation profile
+//	/debug/pprof/trace     execution trace (go tool trace)
+//	/debug/runtime         runtime/metrics catalogue as JSON
+func (s *Server) EnableProfiling() {
+	mux := http.NewServeMux()
+	mux.Handle("/", s.srv.Handler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", serveRuntimeMetrics)
+	s.srv.Handler = mux
+}
+
+// serveRuntimeMetrics renders every runtime/metrics sample as a JSON
+// object keyed by metric name. Scalar kinds map to numbers; histogram
+// kinds to {buckets, counts} pairs (bucket boundaries as float64s, one
+// more boundary than counts per the runtime/metrics convention).
+func serveRuntimeMetrics(w http.ResponseWriter, _ *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i := range descs {
+		samples[i].Name = descs[i].Name
+	}
+	metrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for i := range samples {
+		s := &samples[i]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			// Boundary buckets are ±Inf, which encoding/json rejects;
+			// render them as strings so the object stays valid JSON.
+			buckets := make([]any, len(h.Buckets))
+			for k, b := range h.Buckets {
+				switch {
+				case math.IsInf(b, 1):
+					buckets[k] = "+Inf"
+				case math.IsInf(b, -1):
+					buckets[k] = "-Inf"
+				default:
+					buckets[k] = b
+				}
+			}
+			out[s.Name] = map[string]any{"buckets": buckets, "counts": h.Counts}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		// Headers are gone; nothing useful left to report to the client.
+		return
+	}
+}

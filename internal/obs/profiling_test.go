@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestEnableProfiling starts a server with profiling on and checks the
+// pprof index, a concrete profile, the runtime-metrics JSON, and that
+// the Live endpoints still answer through the wrapping mux.
+func TestEnableProfiling(t *testing.T) {
+	var live Live
+	live.Publish(Snapshot{Seq: 1, Values: []Value{{Name: "x_total", Value: 7}}})
+	srv := NewServer(&live)
+	srv.EnableProfiling()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Shutdown(2 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Error("pprof index is empty")
+	}
+	if body := get("/debug/pprof/goroutine?debug=1"); len(body) == 0 {
+		t.Error("goroutine profile is empty")
+	}
+
+	var rt map[string]any
+	if err := json.Unmarshal(get("/debug/runtime"), &rt); err != nil {
+		t.Fatalf("/debug/runtime is not valid JSON: %v", err)
+	}
+	if _, ok := rt["/memory/classes/heap/objects:bytes"]; !ok {
+		t.Errorf("/debug/runtime missing heap metric; got %d keys", len(rt))
+	}
+
+	// The original Live surface must still be reachable.
+	if body := get("/metrics"); len(body) == 0 {
+		t.Error("/metrics no longer served with profiling enabled")
+	}
+}
+
+// TestServerWithoutProfiling checks the default server does NOT expose
+// pprof — profiling must remain opt-in.
+func TestServerWithoutProfiling(t *testing.T) {
+	var live Live
+	srv := NewServer(&live)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Shutdown(2 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof served without EnableProfiling")
+	}
+}

@@ -7,10 +7,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"bulkpreload/internal/core"
 	"bulkpreload/internal/engine"
 	"bulkpreload/internal/obs"
+	"bulkpreload/internal/obs/span"
 	"bulkpreload/internal/trace"
 	"bulkpreload/internal/workload"
 )
@@ -56,7 +58,7 @@ func RunUnitsSerial(units []Unit) ([]engine.Result, error) {
 	out := make([]engine.Result, len(units))
 	var errs []error
 	for i := range units {
-		if err := runOneUnit(&units[i], &out[i], i, false); err != nil {
+		if _, _, err := runOneUnit(&units[i], &out[i], i, false, nil, 0); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -66,39 +68,72 @@ func RunUnitsSerial(units []Unit) ([]engine.Result, error) {
 // runOneUnit executes one unit into *res, converting a panic into an
 // error carrying the unit index, label, and stack. batched selects the
 // engine entry point: RunBatched (parallel pipeline) or Run (oracle).
-func runOneUnit(u *Unit, res *engine.Result, i int, batched bool) (err error) {
+// A non-nil rec threads span tracing through the engine's batched path
+// and the unit's FileSource (if that is what NewSource builds), with
+// the engine's phase spans attached under parent. bulk/slow report the
+// engine's batch fast-path attribution (zero for the serial path).
+func runOneUnit(u *Unit, res *engine.Result, i int, batched bool, rec *span.Recorder, parent span.ID) (bulk, slow int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("sim: unit %d (%s) panicked: %v\n%s", i, u.Label, r, debug.Stack())
 		}
 	}()
-	eng := engine.New(u.Config, u.Params)
-	if batched {
-		*res = eng.RunBatched(u.NewSource(), u.ConfigName)
-	} else {
-		*res = eng.Run(u.NewSource(), u.ConfigName)
+	params := u.Params
+	if rec.Enabled() {
+		params.Spans = rec
+		params.SpanParent = parent
 	}
-	return nil
+	eng := engine.New(u.Config, params)
+	src := u.NewSource()
+	if fs, ok := src.(*trace.FileSource); ok && rec.Enabled() {
+		fs.SetSpans(rec, parent)
+	}
+	if batched {
+		*res = eng.RunBatched(src, u.ConfigName)
+	} else {
+		*res = eng.Run(src, u.ConfigName)
+	}
+	bulk, slow = eng.BatchPathCounts()
+	return bulk, slow, nil
 }
 
 // ShardStats describes one RunUnits invocation: how the units spread
 // across workers. Metrics is the merged per-worker scheduler registry
-// (units run, steal traffic, instructions simulated) — per-worker
-// registries are goroutine-local while running and cross the boundary
-// as immutable snapshots merged through AggregateMetrics.
+// (units run, steal traffic, instructions simulated, busy time,
+// run-queue depth) — per-worker registries are goroutine-local while
+// running and cross the boundary as immutable snapshots merged through
+// AggregateMetrics.
 type ShardStats struct {
-	Workers int
-	Units   int
-	Steals  int64 // units that changed workers after initial distribution
-	Metrics obs.Snapshot
+	Workers   int
+	Units     int
+	Steals    int64 // units that changed workers after initial distribution
+	WallNanos int64 // wall time of the whole RunUnits invocation
+	Metrics   obs.Snapshot
+}
+
+// Utilization returns the fraction of aggregate worker wall time spent
+// executing units (0 when unknown): merged sched_busy_nanos_total over
+// Workers x WallNanos. The gap is scheduling overhead plus tail idling
+// — workers that drained every queue while a long unit finished
+// elsewhere.
+func (s ShardStats) Utilization() float64 {
+	if s.WallNanos <= 0 || s.Workers <= 0 {
+		return 0
+	}
+	busy := s.Metrics.Counter("sched_busy_nanos_total")
+	return float64(busy) / (float64(s.WallNanos) * float64(s.Workers))
 }
 
 // schedWorker is one worker's goroutine-local scheduler instrumentation.
 type schedWorker struct {
-	unitsRun      obs.Counter // units this worker executed
-	unitsStolen   obs.Counter // units this worker took from victims
-	stealAttempts obs.Counter // victim scans, successful or not
-	instructions  obs.Counter // instructions simulated by this worker
+	unitsRun      obs.Counter   // units this worker executed
+	unitsStolen   obs.Counter   // units this worker took from victims
+	stealAttempts obs.Counter   // victim scans, successful or not
+	instructions  obs.Counter   // instructions simulated by this worker
+	bulkRecords   obs.Counter   // batched records that took the bulk fast path
+	slowRecords   obs.Counter   // batched records stepped one at a time
+	busyNanos     obs.Counter   // wall nanoseconds spent inside runOneUnit
+	queueDepth    obs.Histogram // local run-queue depth after each pop
 }
 
 // registry enumerates the worker's counters in a fresh obs registry.
@@ -108,7 +143,27 @@ func (w *schedWorker) registry() *obs.Registry {
 	reg.Counter("sched_units_stolen_total", "units", "units stolen from other workers' queues", &w.unitsStolen)
 	reg.Counter("sched_steal_attempts_total", "scans", "victim-queue scans when the local queue drained", &w.stealAttempts)
 	reg.Counter("sched_instructions_total", "instructions", "instructions simulated by this worker", &w.instructions)
+	reg.Counter("sched_bulk_records_total", "records", "batched records taking the engine's bulk fast path", &w.bulkRecords)
+	reg.Counter("sched_slow_records_total", "records", "batched records stepped through the per-record path", &w.slowRecords)
+	reg.Counter("sched_busy_nanos_total", "nanoseconds", "wall time this worker spent executing units", &w.busyNanos)
+	w.queueDepth.SetBounds(0, 1, 2, 4, 8, 16, 32, 64)
+	reg.Histogram("sched_queue_depth", "units", "local run-queue depth observed after each pop", &w.queueDepth)
 	return reg
+}
+
+// wallStart and wallElapsed read the host clock for scheduler busy-time
+// telemetry. They are the scheduler's only wall-clock access; the
+// readings feed sched_busy_nanos_total and ShardStats.WallNanos and
+// never reach simulation results (the differential gate compares those
+// bit-for-bit).
+func wallStart() time.Time {
+	//zbp:wallclock scheduler busy-time telemetry, never reaches simulation results
+	return time.Now()
+}
+
+func wallElapsed(t0 time.Time) int64 {
+	//zbp:wallclock scheduler busy-time telemetry, never reaches simulation results
+	return int64(time.Since(t0))
 }
 
 // unitQueue is one worker's deque of pending unit indices. The owner
@@ -119,16 +174,18 @@ type unitQueue struct {
 	q  []int
 }
 
-func (w *unitQueue) popTail() (int, bool) {
+// popTail removes and returns the tail unit plus the queue depth left
+// behind (telemetry: sched_queue_depth observes it on every pop).
+func (w *unitQueue) popTail() (i, depth int, ok bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	n := len(w.q)
 	if n == 0 {
-		return 0, false
+		return 0, 0, false
 	}
-	i := w.q[n-1]
+	i = w.q[n-1]
 	w.q = w.q[:n-1]
-	return i, true
+	return i, n - 1, true
 }
 
 // stealHalf appends the front half (rounded up) of the queue to into.
@@ -170,6 +227,17 @@ func RunUnits(ctx context.Context, workers int, units []Unit) ([]engine.Result, 
 // RunUnitsStats is RunUnits plus the scheduler's own observability: the
 // per-worker registries merged into one ShardStats snapshot.
 func RunUnitsStats(ctx context.Context, workers int, units []Unit) ([]engine.Result, ShardStats, error) {
+	return RunUnitsTraced(ctx, workers, units, nil)
+}
+
+// RunUnitsTraced is RunUnitsStats with hierarchical span tracing: a
+// non-nil tr collects one study span over the whole invocation, a
+// worker span per pool worker, a unit span per executed unit (with the
+// engine's phase/batch spans and the FileSource's refill spans nested
+// beneath), and an instant steal event for every successful steal.
+// Tracing never changes scheduling or results; a nil tr is the
+// zero-cost disabled path RunUnitsStats uses.
+func RunUnitsTraced(ctx context.Context, workers int, units []Unit, tr *span.Trace) ([]engine.Result, ShardStats, error) {
 	n := len(units)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -193,25 +261,47 @@ func RunUnitsStats(ctx context.Context, workers int, units []Unit) ([]engine.Res
 		mu.Unlock()
 	}
 
+	wall0 := wallStart()
+	srec := tr.NewRecorder(0)
+	study := srec.Start(span.KindStudy, "study", 0)
+	finishStudy := func() {
+		study.EndArgs(int64(n), int64(stats.Workers))
+		tr.Adopt(srec)
+		stats.WallNanos = wallElapsed(wall0)
+	}
+
 	if workers == 1 {
 		// Degenerate pool: same batched path, calling goroutine, no
 		// queues to steal from. This is the workers=1 leg of the
 		// deterministic-interleaving tests.
 		w := &schedWorker{}
 		reg := w.registry()
+		wrec := tr.NewRecorder(1)
+		ws := wrec.Start(span.KindWorker, "worker", study.ID())
 		for i := range units {
 			if err := ctx.Err(); err != nil {
 				report(fmt.Errorf("sim: canceled before unit %d (%s): %w", i, units[i].Label, err))
 				continue
 			}
-			if err := runOneUnit(&units[i], &out[i], i, true); err != nil {
+			w.queueDepth.Observe(int64(n - 1 - i))
+			us := wrec.Start(span.KindUnit, units[i].Label, ws.ID())
+			t0 := wallStart()
+			bulk, slow, err := runOneUnit(&units[i], &out[i], i, true, wrec, us.ID())
+			w.busyNanos.Add(wallElapsed(t0))
+			us.EndArgs(out[i].Instructions, 0)
+			if err != nil {
 				report(err)
 				continue
 			}
 			w.unitsRun.Inc()
 			w.instructions.Add(out[i].Instructions)
+			w.bulkRecords.Add(bulk)
+			w.slowRecords.Add(slow)
 		}
+		ws.EndArgs(w.unitsRun.Value(), 0)
+		tr.Adopt(wrec)
 		stats.Metrics = reg.Snapshot(0)
+		finishStudy()
 		return out, stats, errors.Join(errs...)
 	}
 
@@ -237,6 +327,7 @@ func RunUnitsStats(ctx context.Context, workers int, units []Unit) ([]engine.Res
 	}
 
 	snaps := make([]obs.Snapshot, workers)
+	wrecs := make([]*span.Recorder, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -244,19 +335,32 @@ func RunUnitsStats(ctx context.Context, workers int, units []Unit) ([]engine.Res
 			defer wg.Done()
 			worker := &schedWorker{}
 			reg := worker.registry()
-			defer func() { snaps[id] = reg.Snapshot(0) }()
+			// Worker recorders land in per-worker result slots and are
+			// adopted after wg.Wait, like the registry snapshots.
+			wrec := tr.NewRecorder(id + 1)
+			ws := wrec.Start(span.KindWorker, "worker", study.ID())
+			defer func() {
+				ws.EndArgs(worker.unitsRun.Value(), worker.unitsStolen.Value())
+				snaps[id] = reg.Snapshot(0)
+				wrecs[id] = wrec
+			}()
 			self := queues[id]
 			var loot []int
 			for {
-				i, ok := self.popTail()
+				i, depth, ok := self.popTail()
 				if !ok {
 					// Local queue drained: scan victims round-robin from
 					// our right-hand neighbor and take half of the first
 					// non-empty queue found.
 					worker.stealAttempts.Inc()
 					loot = loot[:0]
+					victim := -1
 					for v := 1; v < workers && len(loot) == 0; v++ {
-						loot = queues[(id+v)%workers].stealHalf(loot)
+						vi := (id + v) % workers
+						loot = queues[vi].stealHalf(loot)
+						if len(loot) > 0 {
+							victim = vi
+						}
 					}
 					if len(loot) == 0 {
 						// Units are only ever removed, never added, so an
@@ -264,23 +368,35 @@ func RunUnitsStats(ctx context.Context, workers int, units []Unit) ([]engine.Res
 						return
 					}
 					worker.unitsStolen.Add(int64(len(loot)))
+					wrec.Instant(span.KindSteal, "steal", ws.ID(), int64(len(loot)), int64(victim+1))
 					self.push(loot)
 					continue
 				}
+				worker.queueDepth.Observe(int64(depth))
 				if err := ctx.Err(); err != nil {
 					report(fmt.Errorf("sim: canceled before unit %d (%s): %w", i, units[i].Label, err))
 					continue
 				}
-				if err := runOneUnit(&units[i], &out[i], i, true); err != nil {
+				us := wrec.Start(span.KindUnit, units[i].Label, ws.ID())
+				t0 := wallStart()
+				bulk, slow, err := runOneUnit(&units[i], &out[i], i, true, wrec, us.ID())
+				worker.busyNanos.Add(wallElapsed(t0))
+				us.EndArgs(out[i].Instructions, 0)
+				if err != nil {
 					report(err)
 					continue
 				}
 				worker.unitsRun.Inc()
 				worker.instructions.Add(out[i].Instructions)
+				worker.bulkRecords.Add(bulk)
+				worker.slowRecords.Add(slow)
 			}
 		}(w)
 	}
 	wg.Wait()
+	for _, r := range wrecs {
+		tr.Adopt(r)
+	}
 
 	// Merge the per-worker registries: snapshots are immutable plain
 	// data, so wrapping them as shard results reuses the study-level
@@ -295,5 +411,6 @@ func RunUnitsStats(ctx context.Context, workers int, units []Unit) ([]engine.Res
 			stats.Steals = v.Value
 		}
 	}
+	finishStudy()
 	return out, stats, errors.Join(errs...)
 }

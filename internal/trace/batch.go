@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"bulkpreload/internal/obs/span"
 )
 
 // Batched decoding: the simulator's hot loop consumes instructions in
@@ -87,6 +89,8 @@ func (s *SliceSource) FillBatch(b *Batch) int {
 // Batch with zero allocations in steady state. Byte-offset diagnostics
 // (truncation, invalid records) are identical to Read's, so salvage
 // tooling sees the same failure point whichever decoder found it.
+//
+//zbp:allow obsreg FileSource wraps this decoder and records the refill spans around Next
 type BatchDecoder struct {
 	r       io.Reader
 	name    string
@@ -198,6 +202,21 @@ type FileSource struct {
 	pos   int   // next unread record in batch
 	diag  error // terminal decode/seek error, nil on clean streams
 	done  bool
+
+	// spans, when set via SetSpans, records one KindRefill span per
+	// batch refill (disk read + decode) under spanParent, attributing
+	// pipeline stall time to trace I/O. Nil costs nothing.
+	spans      *span.Recorder
+	spanParent span.ID
+}
+
+// SetSpans attaches a span recorder to the source: every subsequent
+// batch refill is recorded as a refill span under parent. The recorder
+// must belong to the goroutine consuming the source (the shard worker);
+// call with nil to detach.
+func (s *FileSource) SetSpans(rec *span.Recorder, parent span.ID) {
+	s.spans = rec
+	s.spanParent = parent
 }
 
 // OpenFileSource opens path for streaming batched decode. batchCap <= 0
@@ -238,7 +257,9 @@ func (s *FileSource) refill() bool {
 		return false
 	}
 	s.pos = 0
+	sp := s.spans.Start(span.KindRefill, "refill", s.spanParent)
 	err := s.dec.Next(&s.batch)
+	sp.EndArgs(int64(len(s.batch.Ins)), 0)
 	if err != nil {
 		if err != io.EOF {
 			s.diag = err
@@ -267,7 +288,10 @@ func (s *FileSource) FillBatch(b *Batch) int {
 	if s.done {
 		return 0
 	}
-	if err := s.dec.Next(b); err != nil {
+	sp := s.spans.Start(span.KindRefill, "refill", s.spanParent)
+	err := s.dec.Next(b)
+	sp.EndArgs(int64(len(b.Ins)), 0)
+	if err != nil {
 		if err != io.EOF {
 			s.diag = err
 		}

@@ -178,6 +178,10 @@ type Source interface {
 
 // SliceSource adapts an in-memory instruction slice to Source. It is the
 // workhorse for unit tests and for directed microbenchmark kernels.
+// Refills from a resident slice are not worth span events; file-backed
+// streaming (FileSource) is the traced path.
+//
+//zbp:allow obsreg in-memory refills are not traced; FileSource records refill spans
 type SliceSource struct {
 	name string
 	ins  []Inst
