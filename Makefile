@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race check bench bench-gate bench-append clean
+.PHONY: build test race check bench bench-gate bench-append loadtest clean
 
 build:
 	$(GO) build ./...
@@ -36,5 +36,14 @@ bench-gate:
 bench-append:
 	$(GO) run ./cmd/zsim -perfstat append -perfstat-runs 3 -perfstat-label "$(LABEL)"
 
+# The zsimd fault-injecting load testbed: steady load, burst overload,
+# deadline dead-lettering, a slow client, and kill -9 mid-job with the
+# recovered result checked bit-identical against a serial
+# checkpoint+resume oracle. Built with -race like the CI selftest job.
+# Usage: make loadtest [SCENARIO=kill9]
+loadtest:
+	$(GO) build -race -o zsimd ./cmd/zsimd
+	./zsimd -selftest -scenario "$(SCENARIO)"
+
 clean:
-	rm -f zsim experiments zbpcheck tracegen
+	rm -f zsim experiments zbpcheck tracegen zsimd

@@ -1,0 +1,190 @@
+// Command zsimd is the crash-safe simulation service daemon: an
+// HTTP/JSON API over a persistent, journaled job queue executing
+// sim.Spec jobs on a worker pool with admission control, per-job
+// deadlines, retry/dead-letter policy, and checkpoint/resume across
+// both graceful SIGTERM drains and kill -9.
+//
+// Usage:
+//
+//	zsimd -dir /var/lib/zsimd -addr :8080
+//	zsimd -dir state -addr :8080 -workers 4 -deadline 10m
+//	zsimd -selftest                       # run the fault-injecting testbed
+//	zsimd -selftest -scenario kill9       # one scenario
+//	zsimd -selftest -list                 # list scenarios
+//
+// API:
+//
+//	POST /v1/jobs        {"tenant":"t","spec":{...sim.Spec...}} -> 202 job,
+//	                     429 + Retry-After when shed, 503 while draining
+//	GET  /v1/jobs        queue listing with depth
+//	GET  /v1/jobs/{id}   job status; result JSON once done
+//	GET  /healthz        200 serving / 503 draining
+//	GET  /metrics        Prometheus text (service + per-tenant)
+//	GET  /snapshot       raw obs snapshot JSON
+//	GET  /debug/vars     expvar
+//
+// On SIGTERM/SIGINT the daemon stops admitting, drains in-flight jobs
+// up to -drain, checkpoints whatever is still running at its exact
+// record boundary, and exits; the next start resumes from the journal.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bulkpreload/internal/jobq"
+	"bulkpreload/internal/loadtest"
+	"bulkpreload/internal/obs"
+	"bulkpreload/internal/zsimd"
+)
+
+func main() {
+	var (
+		dir         = flag.String("dir", "zsimd-state", "persistent state directory (journal + checkpoints)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file after listening (for :0 and tooling)")
+		workers     = flag.Int("workers", 2, "simulation worker pool size")
+		maxDepth    = flag.Int("max-depth", 64, "pending-backlog bound; submissions beyond it get 429")
+		maxAttempts = flag.Int("max-attempts", 3, "dead-letter a job after this many failed attempts")
+		deadline    = flag.Duration("deadline", 0, "per-attempt wall-time bound (0 = unbounded)")
+		ckptEvery   = flag.Int64("checkpoint-every", 200_000, "instructions between durable job checkpoints (<0 disables interval checkpoints)")
+		drain       = flag.Duration("drain", 10*time.Second, "how long SIGTERM lets in-flight jobs finish before checkpoint-and-release")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admission rate limit in jobs/sec (0 = unlimited)")
+		tenantBurst = flag.Int("tenant-burst", 8, "per-tenant admission burst size")
+		retryBase   = flag.Duration("retry-base", jobq.DefaultBackoff.Base, "retry backoff after the first failure")
+		retryCap    = flag.Duration("retry-cap", jobq.DefaultBackoff.Cap, "upper bound on any retry backoff")
+
+		selftest = flag.Bool("selftest", false, "run the fault-injecting load testbed against this binary and exit")
+		scenario = flag.String("scenario", "", "with -selftest: run only scenarios whose name contains this")
+		seed     = flag.Uint64("seed", 1, "with -selftest: deterministic scenario seed")
+		list     = flag.Bool("list", false, "with -selftest: list scenario names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range loadtest.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *selftest {
+		os.Exit(runSelftest(*scenario, *seed))
+	}
+
+	cfg := zsimd.Config{
+		Dir:                *dir,
+		Workers:            *workers,
+		MaxQueueDepth:      *maxDepth,
+		MaxAttempts:        *maxAttempts,
+		JobDeadline:        *deadline,
+		CheckpointInterval: *ckptEvery,
+		DrainTimeout:       *drain,
+		TenantRate:         *tenantRate,
+		TenantBurst:        *tenantBurst,
+		Retry:              jobq.Backoff{Base: *retryBase, Cap: *retryCap},
+	}
+	os.Exit(runDaemon(cfg, *addr, *addrFile))
+}
+
+func runDaemon(cfg zsimd.Config, addr, addrFile string) int {
+	logger := log.New(os.Stderr, "zsimd: ", log.LstdFlags)
+	svc, err := zsimd.New(cfg)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	rec := svc.Recovery()
+	if rec.Replayed > 0 || rec.Damage != nil {
+		logger.Printf("recovered %d jobs (%d requeued from crash), journal damage: %v",
+			rec.Replayed, len(rec.Requeued), rec.Damage)
+	}
+
+	srv := obs.NewHandlerServer(svc.Handler())
+	bound, err := srv.Start(addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			logger.Printf("writing -addr-file: %v", err)
+			return 1
+		}
+	}
+	logger.Printf("listening on %s (dir %s, %d workers)", bound, cfg.Dir, cfg.Workers)
+	svc.Start()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigs
+	logger.Printf("%s: draining (up to %v)", sig, cfg.DrainTimeout)
+
+	// Stop taking connections first, then drain the workers; both are
+	// bounded, so a second signal is never needed to get out.
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	shutdownCtx, cancel := signalContext(sigs)
+	defer cancel()
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("drain: %v", err)
+		return 1
+	}
+	logger.Print("drained; state persisted")
+	return 0
+}
+
+// signalContext returns a context canceled by the next signal on sigs:
+// an operator's second ^C cuts the drain short instead of being
+// swallowed.
+func signalContext(sigs <-chan os.Signal) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		select {
+		case <-sigs:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+func runSelftest(filter string, seed uint64) int {
+	bin, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsimd: cannot locate own binary for subprocess scenarios:", err)
+		bin = ""
+	}
+	outs := loadtest.Run(loadtest.Options{
+		Bin:    bin,
+		Filter: filter,
+		Seed:   seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	failed := 0
+	for _, o := range outs {
+		switch {
+		case o.Skipped:
+			fmt.Printf("SKIP %s\n", o.Name)
+		case o.Err != nil:
+			fmt.Printf("FAIL %s (%v): %v\n", o.Name, o.Dur.Round(time.Millisecond), o.Err)
+			failed++
+		default:
+			fmt.Printf("ok   %s (%v)\n", o.Name, o.Dur.Round(time.Millisecond))
+		}
+	}
+	if failed > 0 || len(outs) == 0 {
+		fmt.Printf("selftest: %d/%d scenarios failed\n", failed, len(outs))
+		return 1
+	}
+	fmt.Printf("selftest: %d scenarios passed\n", len(outs))
+	return 0
+}

@@ -36,10 +36,13 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // InScope reports whether the analyzer checks the package: the paths
-// where a wedged loop strands a long-running simulation.
+// where a wedged loop strands a long-running simulation — and, since
+// the zsimd service, the paths where one strands a daemon: the job
+// queue's blocking dequeue, the service worker pool, and the load
+// testbed that drives them.
 func InScope(pkgPath string) bool {
 	switch directive.PkgLastElem(pkgPath) {
-	case "sim", "fault", "trace", "engine":
+	case "sim", "fault", "trace", "engine", "jobq", "zsimd", "loadtest":
 		return true
 	}
 	return false

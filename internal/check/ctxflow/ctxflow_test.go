@@ -13,3 +13,31 @@ import (
 func TestCtxFlow(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "ctxloops/sim")
 }
+
+// TestCtxFlowServiceLoops covers the daemon-era scope: worker pools
+// observing a struct-field context, blocking dequeues, journal-replay
+// bounds, and the wedged worker loop SIGTERM cannot stop.
+func TestCtxFlowServiceLoops(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "ctxloops/zsimd")
+}
+
+// TestInScope pins the analyzer's package set: the simulation paths it
+// has always covered plus the zsimd service paths (jobq, zsimd,
+// loadtest) where a wedged loop strands a daemon drain.
+func TestInScope(t *testing.T) {
+	for _, pkg := range []string{
+		"bulkpreload/internal/sim", "bulkpreload/internal/fault",
+		"bulkpreload/internal/trace", "bulkpreload/internal/engine",
+		"bulkpreload/internal/jobq", "bulkpreload/internal/zsimd",
+		"bulkpreload/internal/loadtest",
+	} {
+		if !ctxflow.InScope(pkg) {
+			t.Errorf("InScope(%q) = false, want true", pkg)
+		}
+	}
+	for _, pkg := range []string{"bulkpreload/internal/report", "bulkpreload/internal/obs"} {
+		if ctxflow.InScope(pkg) {
+			t.Errorf("InScope(%q) = true, want false", pkg)
+		}
+	}
+}

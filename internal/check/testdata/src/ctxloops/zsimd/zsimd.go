@@ -1,0 +1,58 @@
+// Package zsimd exercises the ctxflow analyzer over the service-daemon
+// loop shapes: worker pools holding their context in a struct field,
+// blocking dequeue loops, and drain loops. The service packages (jobq,
+// zsimd, loadtest) joined the analyzer's scope when the daemon shipped
+// — a wedged worker loop strands a drain exactly like a wedged sweep
+// strands a simulation.
+package zsimd
+
+import "context"
+
+type pool struct {
+	ctx  context.Context
+	jobs chan int
+}
+
+// worker observes the pool's context through a field selector;
+// accepted.
+func (p *pool) worker(run func(int)) {
+	for {
+		if p.ctx.Err() != nil {
+			return
+		}
+		run(<-p.jobs)
+	}
+}
+
+// dequeue pairs the channel receive with ctx.Done; accepted.
+func (p *pool) dequeue() (int, bool) {
+	for {
+		select {
+		case <-p.ctx.Done():
+			return 0, false
+		case j, ok := <-p.jobs:
+			return j, ok
+		}
+	}
+}
+
+// replay documents its bound (journal EOF); accepted.
+func replay(next func() (int, bool)) int {
+	sum := 0
+	//zbp:bounded terminates when the journal stream hits EOF
+	for {
+		v, ok := next()
+		if !ok {
+			return sum
+		}
+		sum += v
+	}
+}
+
+// wedgedWorker neither observes the context nor documents a bound: the
+// loop SIGTERM cannot stop.
+func (p *pool) wedgedWorker(run func(int)) {
+	for v := range p.jobs { // want `unbounded loop does not observe cancellation`
+		run(v)
+	}
+}

@@ -220,8 +220,10 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 }
 
 // WriteCheckpointFile atomically persists the checkpoint: written to a
-// temp file in the target directory, synced, then renamed into place, so
-// a crash mid-write never destroys the previous good checkpoint.
+// temp file in the target directory, synced, renamed into place, and
+// the directory synced, so a crash at any point either leaves the
+// previous good checkpoint or the complete new one — never a torn file,
+// and never a rename that evaporates with the directory's page cache.
 func WriteCheckpointFile(path string, ck *Checkpoint) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -246,6 +248,23 @@ func WriteCheckpointFile(path string, ck *Checkpoint) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("engine: installing checkpoint: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making previously renamed/created entries
+// durable. A rename is atomic with respect to readers immediately, but
+// only survives a power loss once the directory itself reaches disk —
+// the gap that used to let a "committed" checkpoint or journal vanish
+// on crash.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("engine: opening directory for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("engine: syncing directory %s: %w", dir, err)
 	}
 	return nil
 }

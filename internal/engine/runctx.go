@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"bulkpreload/internal/trace"
+)
+
+// The service-facing run entry points. zsimd executes jobs with
+// per-job deadlines and must survive SIGTERM mid-trace, so these
+// variants of Run/Resume poll a context between records and, when
+// canceled, hand the engine's exact stopping state to the configured
+// CheckpointSink before returning — the job resumes from that record
+// boundary instead of restarting. The stepping itself is byte-for-byte
+// the serial Run loop: a run that is never canceled returns a Result
+// bit-identical to Run's, and a resumed run is bit-identical to
+// Resume's, which is what lets the load testbed hold recovered jobs
+// against the serial checkpoint+resume oracle.
+
+// DefaultCancelPoll is how many records RunContext steps between
+// context polls when pollEvery <= 0. Small enough that a deadline or
+// drain lands within microseconds of simulated work, large enough that
+// the poll is invisible next to the per-record stepping cost.
+const DefaultCancelPoll = 1024
+
+// ErrRunCanceled reports a run stopped by its context. Use errors.Is;
+// the returned error also wraps the context's own cause
+// (context.Canceled or context.DeadlineExceeded).
+var ErrRunCanceled = fmt.Errorf("engine: run canceled")
+
+// RunContext is Run with cooperative cancellation: every pollEvery
+// records it checks ctx and, once ctx is done, stops at the current
+// record boundary. If a CheckpointSink is configured the engine's state
+// at that exact boundary is checkpointed to it first, so no progress is
+// lost. The returned error wraps both ErrRunCanceled and ctx's error;
+// the partial Result carries whatever was committed before the stop and
+// must not be reported as a finished run.
+func (e *Engine) RunContext(ctx context.Context, src trace.Source, configName string, pollEvery int) (Result, error) {
+	e.reset()
+	src.Reset()
+	e.res.Trace = src.Name()
+	e.res.Config = configName
+	return e.runLoop(ctx, src, pollEvery)
+}
+
+// ResumeContext is Resume with the same cooperative cancellation as
+// RunContext: the checkpoint prefix is skipped, then the remainder is
+// simulated with a context poll every pollEvery records. A canceled
+// resume re-checkpoints at its stopping boundary (strictly later than
+// ck), so repeated interrupt/resume cycles ratchet forward.
+func (e *Engine) ResumeContext(ctx context.Context, src trace.Source, ck *Checkpoint, pollEvery int) (Result, error) {
+	e.reset()
+	src.Reset()
+	if n := src.Name(); n != ck.Trace {
+		return Result{}, fmt.Errorf("engine: resume trace %q does not match checkpoint trace %q", n, ck.Trace)
+	}
+	if err := e.restore(ck); err != nil {
+		return Result{}, err
+	}
+	for skipped := int64(0); skipped < ck.Instructions; skipped++ {
+		if _, ok := src.Next(); !ok {
+			return Result{}, fmt.Errorf("engine: trace ended after %d records while skipping the %d-record checkpoint prefix",
+				skipped, ck.Instructions)
+		}
+	}
+	return e.runLoop(ctx, src, pollEvery)
+}
+
+// runLoop steps src to completion or cancellation. Shared tail of
+// RunContext and ResumeContext.
+func (e *Engine) runLoop(ctx context.Context, src trace.Source, pollEvery int) (Result, error) {
+	if pollEvery <= 0 {
+		pollEvery = DefaultCancelPoll
+	}
+	sincePoll := 0
+	for {
+		if sincePoll >= pollEvery {
+			sincePoll = 0
+			if err := ctx.Err(); err != nil {
+				if e.params.CheckpointSink != nil {
+					e.params.CheckpointSink(e.Checkpoint())
+				}
+				return e.res, fmt.Errorf("%w after %d records: %w", ErrRunCanceled, e.res.Instructions, err)
+			}
+		}
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		e.step(in)
+		sincePoll++
+	}
+	e.finishResult()
+	return e.res, nil
+}

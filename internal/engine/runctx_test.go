@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/trace"
+	"bulkpreload/internal/workload"
+)
+
+// cancelAtSource cancels a context when record n is served — the
+// deterministic way to interrupt a run at a known point.
+type cancelAtSource struct {
+	src    trace.Source
+	cancel context.CancelFunc
+	at     int64
+	served int64
+}
+
+func (c *cancelAtSource) Name() string { return c.src.Name() }
+func (c *cancelAtSource) Reset()       { c.src.Reset(); c.served = 0 }
+func (c *cancelAtSource) Next() (trace.Inst, bool) {
+	c.served++
+	if c.served == c.at {
+		c.cancel()
+	}
+	return c.src.Next()
+}
+
+// TestRunContextMatchesRun: an uncanceled RunContext must be the serial
+// Run loop bit for bit.
+func TestRunContextMatchesRun(t *testing.T) {
+	prof := checkpointProfile()
+	plain := Run(workload.New(prof), core.DefaultConfig(), fastParams(), "ctx")
+
+	e := New(core.DefaultConfig(), fastParams())
+	got, err := e.RunContext(context.Background(), workload.New(prof), "ctx", 0)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if got.CPI() != plain.CPI() || got.Instructions != plain.Instructions ||
+		got.Outcomes != plain.Outcomes || got.Cycles != plain.Cycles {
+		t.Errorf("RunContext diverged from Run: CPI %.9f vs %.9f", got.CPI(), plain.CPI())
+	}
+}
+
+// TestRunContextCancelCheckpointsAndResumes is the recovery core the
+// zsimd service relies on: a canceled run checkpoints its exact
+// stopping boundary, and resuming that checkpoint is bit-identical to a
+// serial oracle that checkpoints at the same instruction count and
+// resumes — the persistence machinery adds zero divergence.
+func TestRunContextCancelCheckpointsAndResumes(t *testing.T) {
+	prof := checkpointProfile()
+
+	var cks []*Checkpoint
+	params := fastParams()
+	params.CheckpointSink = func(ck *Checkpoint) { cks = append(cks, ck) }
+	e := New(core.DefaultConfig(), params)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancelAtSource{src: workload.New(prof), cancel: cancel, at: 50_000}
+	_, err := e.RunContext(ctx, src, "res", 1_000)
+	if !errors.Is(err, ErrRunCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrRunCanceled wrapping context.Canceled", err)
+	}
+	if len(cks) != 1 {
+		t.Fatalf("sink received %d checkpoints on cancel, want 1", len(cks))
+	}
+	ck := cks[0]
+	if ck.Instructions < 50_000 || ck.Instructions >= int64(prof.Instructions) {
+		t.Fatalf("cancel checkpoint at %d instructions", ck.Instructions)
+	}
+
+	// Resume the canceled run's checkpoint.
+	e2 := New(core.DefaultConfig(), fastParams())
+	resumed, err := e2.ResumeContext(context.Background(), workload.New(prof), ck, 0)
+	if err != nil {
+		t.Fatalf("ResumeContext: %v", err)
+	}
+
+	// Serial oracle: fresh run checkpointing at exactly ck.Instructions,
+	// then Resume. Both the checkpoint and the final result must match
+	// the canceled-and-resumed path bit for bit.
+	var ocks []*Checkpoint
+	op := fastParams()
+	op.CheckpointInterval = ck.Instructions
+	op.CheckpointSink = func(c *Checkpoint) { ocks = append(ocks, c) }
+	Run(workload.New(prof), core.DefaultConfig(), op, "res")
+	if len(ocks) == 0 {
+		t.Fatal("oracle took no checkpoint")
+	}
+	if !reflect.DeepEqual(ck, ocks[0]) {
+		t.Error("cancel checkpoint differs from the oracle's interval checkpoint at the same boundary")
+	}
+	e3 := New(core.DefaultConfig(), fastParams())
+	oracle, err := e3.Resume(workload.New(prof), ocks[0])
+	if err != nil {
+		t.Fatalf("oracle Resume: %v", err)
+	}
+	if !reflect.DeepEqual(stripSnapshots(resumed), stripSnapshots(oracle)) {
+		t.Errorf("resumed result diverged from serial checkpoint+resume oracle:\n  resumed: %v\n  oracle:  %v", resumed, oracle)
+	}
+}
+
+// stripSnapshots drops the registry-snapshot pointers so DeepEqual
+// compares the architectural result fields (snapshot equality is the
+// diffgate's job and needs obs.Diff's tolerance for bucket layouts).
+func stripSnapshots(r Result) Result {
+	r.Metrics = nil
+	r.Snapshots = nil
+	return r
+}
+
+// TestResumeContextMatchesResume: the cancellable resume path must
+// reproduce Resume exactly when never canceled.
+func TestResumeContextMatchesResume(t *testing.T) {
+	prof := checkpointProfile()
+	var ck *Checkpoint
+	params := fastParams()
+	params.CheckpointInterval = 60_000
+	params.CheckpointSink = func(c *Checkpoint) { ck = c }
+	Run(workload.New(prof), core.DefaultConfig(), params, "rc")
+	if ck == nil {
+		t.Fatal("no checkpoint taken")
+	}
+
+	e1 := New(core.DefaultConfig(), fastParams())
+	plain, err := e1.Resume(workload.New(prof), ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(core.DefaultConfig(), fastParams())
+	got, err := e2.ResumeContext(context.Background(), workload.New(prof), ck, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripSnapshots(plain), stripSnapshots(got)) {
+		t.Error("ResumeContext diverged from Resume")
+	}
+}
+
+// TestWriteCheckpointFileDurableRoundTrip: the atomic writer must
+// produce a file that round-trips, must overwrite an existing
+// checkpoint in place, and must leave no temp debris behind — the
+// durability contract the jobq journal and crash recovery sit on.
+func TestWriteCheckpointFileDurableRoundTrip(t *testing.T) {
+	prof := checkpointProfile()
+	var cks []*Checkpoint
+	params := fastParams()
+	params.CheckpointInterval = 40_000
+	params.CheckpointSink = func(c *Checkpoint) { cks = append(cks, c) }
+	Run(workload.New(prof), core.DefaultConfig(), params, "dur")
+	if len(cks) < 2 {
+		t.Fatalf("want >= 2 checkpoints, got %d", len(cks))
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.ckpt")
+	for i, ck := range cks[:2] { // second write overwrites the first
+		if err := WriteCheckpointFile(path, ck); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := ReadCheckpointFile(path)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		// Byte-stable round trip: re-persisting what was read must
+		// reproduce the on-disk encoding exactly (gob collapses nil and
+		// empty slices, so struct-level DeepEqual is too strict — what
+		// recovery depends on is that the persisted form is a fixed
+		// point).
+		var a, b bytes.Buffer
+		if err := ck.Write(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("checkpoint %d not byte-stable across the file round trip", i)
+		}
+		if got.Instructions != ck.Instructions || got.Trace != ck.Trace {
+			t.Errorf("checkpoint %d identity changed: %d/%q", i, got.Instructions, got.Trace)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want just the checkpoint", len(entries))
+	}
+}

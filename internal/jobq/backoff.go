@@ -1,0 +1,141 @@
+package jobq
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+)
+
+// Backoff is the retry delay policy: capped exponential growth with
+// deterministic jitter. Jitter is a pure function of (job ID, attempt)
+// — a splitmix64 finalizer over an FNV-1a hash, the seed-derivation
+// idiom internal/fault uses — so the load testbed can predict every
+// retry schedule exactly while distinct jobs still decorrelate.
+type Backoff struct {
+	Base   time.Duration // delay after the first failure (default 100ms)
+	Cap    time.Duration // upper bound on any delay (default 30s)
+	Factor float64       // growth per attempt (default 2)
+}
+
+// DefaultBackoff is the service's retry policy.
+var DefaultBackoff = Backoff{Base: 100 * time.Millisecond, Cap: 30 * time.Second, Factor: 2}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = DefaultBackoff.Base
+	}
+	if b.Cap <= 0 {
+		b.Cap = DefaultBackoff.Cap
+	}
+	if b.Factor < 1 {
+		b.Factor = DefaultBackoff.Factor
+	}
+	return b
+}
+
+// Delay returns the backoff before retrying the given failed attempt
+// (attempt counts from 1). The raw exponential delay is scaled by a
+// jitter factor in [0.5, 1.0) to decorrelate retry storms.
+func (b Backoff) Delay(jobID string, attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(b.Base) * math.Pow(b.Factor, float64(attempt-1))
+	if d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	j := 0.5 + 0.5*jitter01(jobID, attempt)
+	return time.Duration(d * j)
+}
+
+// jitter01 maps (id, attempt) to a deterministic value in [0, 1).
+func jitter01(id string, attempt int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	x := h.Sum64() ^ (uint64(attempt) * 0x9e3779b97f4a7c15)
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// TokenBucket is one tenant's admission rate limiter: Rate tokens per
+// second refill up to Burst. Not safe for concurrent use on its own —
+// TenantLimiter serializes access.
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   int64 // unix nanos of the last refill
+}
+
+// NewTokenBucket returns a full bucket.
+func NewTokenBucket(rate float64, burst int, now int64) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// Take attempts to consume one token at the given time. On refusal it
+// reports how long until a token will be available — the Retry-After
+// the admission layer hands back with the 429.
+func (tb *TokenBucket) Take(now int64) (ok bool, retryAfter time.Duration) {
+	if now > tb.last {
+		tb.tokens += tb.rate * float64(now-tb.last) / float64(time.Second)
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	if tb.rate <= 0 {
+		return false, time.Hour // effectively never
+	}
+	need := 1 - tb.tokens
+	return false, time.Duration(need / tb.rate * float64(time.Second))
+}
+
+// TenantLimiter hands each tenant an independent token bucket.
+type TenantLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   int
+	now     func() time.Time
+	buckets map[string]*TokenBucket
+}
+
+// NewTenantLimiter builds a limiter giving every tenant rate
+// requests/sec with the given burst. rate <= 0 disables limiting
+// (every Allow succeeds). now nil means time.Now.
+func NewTenantLimiter(rate float64, burst int, now func() time.Time) *TenantLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &TenantLimiter{rate: rate, burst: burst, now: now, buckets: make(map[string]*TokenBucket)}
+}
+
+// Allow consumes one admission token for the tenant, reporting the
+// Retry-After delay on refusal.
+func (l *TenantLimiter) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now().UnixNano()
+	tb, found := l.buckets[tenant]
+	if !found {
+		tb = NewTokenBucket(l.rate, l.burst, now)
+		l.buckets[tenant] = tb
+	}
+	return tb.Take(now)
+}

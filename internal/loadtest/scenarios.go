@@ -1,0 +1,285 @@
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"bulkpreload/internal/jobq"
+	"bulkpreload/internal/obs"
+	"bulkpreload/internal/sim"
+	"bulkpreload/internal/zsimd"
+)
+
+// profiles is the workload pool scenarios draw from: small and varied.
+var profiles = []string{"tpf-airline", "zlinux-informix", "zos-lspr-cb84", "zos-appserv"}
+
+// specJSON builds a job spec body.
+func specJSON(profile string, instructions int) json.RawMessage {
+	b, err := json.Marshal(sim.Spec{Trace: profile, Instructions: instructions, Config: sim.ConfigBTB2})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// tempService starts an in-process service in a fresh directory.
+func tempService(cfg zsimd.Config) (*zsimd.Service, func(), error) {
+	dir, err := tempDir()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Dir = dir
+	s, err := zsimd.New(cfg)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	stop := func() {
+		_ = s.Shutdown(context.Background())
+		os.RemoveAll(dir)
+	}
+	return s, stop, nil
+}
+
+// runSteady: a seeded mixed-tenant workload completes with zero
+// retries and zero dead-letters, and two identical specs produce
+// byte-identical results (the determinism contract end to end through
+// queue, worker, and persistence).
+func runSteady(h *harness) error {
+	s, stop, err := tempService(zsimd.Config{Workers: 2, CheckpointInterval: -1, MaxQueueDepth: 64})
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	const jobs = 6
+	ids := make([]string, 0, jobs+2)
+	for i := 0; i < jobs; i++ {
+		profile := profiles[h.rng.intn(len(profiles))]
+		tenant := fmt.Sprintf("tenant-%d", h.rng.intn(3))
+		j, err := s.Queue().Enqueue(tenant, specJSON(profile, 150_000+10_000*h.rng.intn(5)))
+		if err != nil {
+			return fmt.Errorf("enqueue %d: %w", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	// The determinism pair: same spec, same config, different job IDs.
+	for i := 0; i < 2; i++ {
+		j, err := s.Queue().Enqueue("pair", specJSON("tpf-airline", 200_000))
+		if err != nil {
+			return fmt.Errorf("enqueue pair %d: %w", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	s.Start()
+
+	if err := waitUntil(120*time.Second, "all jobs done", func() bool {
+		d := s.Queue().Depth()
+		return d.Done == len(ids) && d.Pending == 0 && d.Running == 0
+	}); err != nil {
+		return err
+	}
+	d := s.Queue().Depth()
+	if d.Dead != 0 {
+		return fmt.Errorf("steady load dead-lettered %d jobs", d.Dead)
+	}
+	for _, id := range ids {
+		j, ok := s.Queue().Get(id)
+		if !ok || j.State != jobq.StateDone || len(j.Result) == 0 {
+			return fmt.Errorf("job %s did not complete cleanly: %+v", id, j)
+		}
+		if j.Attempt != 1 {
+			return fmt.Errorf("job %s needed %d attempts under steady load", id, j.Attempt)
+		}
+	}
+	a, _ := s.Queue().Get(ids[jobs])
+	b, _ := s.Queue().Get(ids[jobs+1])
+	if !bytes.Equal(a.Result, b.Result) {
+		return fmt.Errorf("identical specs produced different results:\n%s\n%s", a.Result, b.Result)
+	}
+	h.logf("%d jobs done, determinism pair byte-identical", len(ids))
+	return nil
+}
+
+// runBurst: flood the admission path far past the depth bound with no
+// workers draining. The contract: the backlog never exceeds the bound,
+// every shed is a 429 with Retry-After, and once workers start every
+// accepted job completes — shed new work, never stall accepted work.
+func runBurst(h *harness) error {
+	const depth = 4
+	s, stop, err := tempService(zsimd.Config{Workers: 2, CheckpointInterval: -1, MaxQueueDepth: depth})
+	if err != nil {
+		return err
+	}
+	defer stop()
+	ts, tsURL := serveHTTP(s)
+	defer ts.Shutdown(time.Second)
+
+	accepted, shed := 0, 0
+	for i := 0; i < 20; i++ {
+		status, retryAfter, _, err := submit(tsURL, "burst", specJSON(profiles[h.rng.intn(len(profiles))], 120_000))
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		switch status {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			if retryAfter == "" {
+				return fmt.Errorf("submit %d: 429 without Retry-After", i)
+			}
+			shed++
+		default:
+			return fmt.Errorf("submit %d: unexpected status %d", i, status)
+		}
+		if p := s.Queue().Depth().Pending; p > depth {
+			return fmt.Errorf("pending backlog %d exceeds bound %d", p, depth)
+		}
+	}
+	if accepted != depth || shed != 20-depth {
+		return fmt.Errorf("burst split %d accepted / %d shed, want %d / %d", accepted, shed, depth, 20-depth)
+	}
+
+	// Zero stalled in-flight work: everything accepted completes.
+	s.Start()
+	if err := waitUntil(120*time.Second, "accepted jobs to finish", func() bool {
+		d := s.Queue().Depth()
+		return d.Done == accepted && d.Pending == 0 && d.Running == 0
+	}); err != nil {
+		return err
+	}
+	h.logf("bounded at %d pending, %d shed with Retry-After, %d accepted all done", depth, shed, accepted)
+	return nil
+}
+
+// runTimeout: one job that cannot finish inside the per-job deadline
+// dead-letters after its bounded retries; jobs behind it are unharmed.
+func runTimeout(h *harness) error {
+	// The deadline must separate the two jobs by orders of magnitude,
+	// not a constant factor: under the race detector the engine runs
+	// ~20x slower, and the meek job still has to finish comfortably
+	// inside the same bound that starves the hog.
+	s, stop, err := tempService(zsimd.Config{
+		Workers:            1,
+		MaxAttempts:        2,
+		JobDeadline:        2 * time.Second,
+		CheckpointInterval: 500_000,
+		Retry:              jobq.Backoff{Base: 2 * time.Millisecond, Cap: 5 * time.Millisecond, Factor: 2},
+	})
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	// Too long for the deadline at any realistic simulation rate.
+	huge, err := s.Queue().Enqueue("hog", specJSON("tpf-airline", 500_000_000))
+	if err != nil {
+		return err
+	}
+	// Deliberately tiny: finishes far inside the deadline.
+	small, err := s.Queue().Enqueue("meek", specJSON("zlinux-informix", 50_000))
+	if err != nil {
+		return err
+	}
+	s.Start()
+
+	if err := waitUntil(120*time.Second, "hog dead-lettered and meek done", func() bool {
+		hj, _ := s.Queue().Get(huge.ID)
+		sj, _ := s.Queue().Get(small.ID)
+		return hj.State == jobq.StateDead && sj.State == jobq.StateDone
+	}); err != nil {
+		return err
+	}
+	hj, _ := s.Queue().Get(huge.ID)
+	if hj.Attempt != 2 {
+		return fmt.Errorf("hog dead-lettered after %d attempts, want 2", hj.Attempt)
+	}
+	if !strings.Contains(hj.Error, "deadline") {
+		return fmt.Errorf("hog error %q does not name the deadline", hj.Error)
+	}
+	h.logf("hog dead after %d bounded attempts, meek finished untouched", hj.Attempt)
+	return nil
+}
+
+// runSlowClient: a client that dribbles request headers holds a
+// connection open indefinitely; the API must keep answering everyone
+// else (the ReadHeaderTimeout shed in obs.NewHandlerServer is the
+// backstop that eventually reclaims the socket).
+func runSlowClient(h *harness) error {
+	s, stop, err := tempService(zsimd.Config{Workers: 1, CheckpointInterval: -1})
+	if err != nil {
+		return err
+	}
+	defer stop()
+	s.Start()
+	ts, tsURL := serveHTTP(s)
+	defer ts.Shutdown(time.Second)
+
+	// The slow client: half a request line, then silence.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(tsURL, "http://"))
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "POST /v1/jobs HT"); err != nil {
+		return err
+	}
+
+	// Everyone else stays served while the slow socket idles.
+	for i := 0; i < 10; i++ {
+		client := &http.Client{Timeout: 2 * time.Second}
+		resp, err := client.Get(tsURL + "/healthz")
+		if err != nil {
+			return fmt.Errorf("healthz %d stalled behind slow client: %w", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("healthz %d = %d", i, resp.StatusCode)
+		}
+	}
+	status, _, _, err := submit(tsURL, "meek", specJSON("tpf-airline", 60_000))
+	if err != nil || status != http.StatusAccepted {
+		return fmt.Errorf("submit behind slow client: status %d, err %v", status, err)
+	}
+	if err := waitUntil(60*time.Second, "job behind slow client", func() bool {
+		return s.Queue().Depth().Done == 1
+	}); err != nil {
+		return err
+	}
+	h.logf("10 healthz + 1 job served while a slow client dribbled headers")
+	return nil
+}
+
+// serveHTTP starts the service API on a loopback obs.Server (the
+// production lifecycle wrapper, ReadHeaderTimeout included).
+func serveHTTP(s *zsimd.Service) (*obs.Server, string) {
+	srv := obs.NewHandlerServer(s.Handler())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		panic(err) // loopback :0 cannot fail for reachable reasons
+	}
+	return srv, "http://" + addr
+}
+
+// submit posts one job and returns (status, Retry-After header, body).
+func submit(baseURL, tenant string, spec json.RawMessage) (int, string, []byte, error) {
+	body := fmt.Sprintf(`{"tenant":%q,"spec":%s}`, tenant, spec)
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), b, nil
+}

@@ -22,7 +22,20 @@ type Server struct {
 
 // NewServer builds a server for l's introspection surface.
 func NewServer(l *Live) *Server {
-	return &Server{srv: &http.Server{Handler: l.Handler()}}
+	return NewHandlerServer(l.Handler())
+}
+
+// NewHandlerServer builds a server for an arbitrary handler — the
+// zsimd service daemon reuses the bind-eagerly/serve-background/
+// drain-on-shutdown lifecycle around its own API surface. The
+// ReadHeaderTimeout bounds how long a slow client may dribble request
+// headers before the connection is shed; without it one idle socket per
+// worker is all it takes to wedge a drain.
+func NewHandlerServer(h http.Handler) *Server {
+	return &Server{srv: &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}}
 }
 
 // Start binds addr and begins serving in a background goroutine. It

@@ -117,6 +117,38 @@ func (s Spec) Run() (engine.Result, error) {
 	return engine.Run(src, cfg, params, name), nil
 }
 
+// Unit converts a validated spec into one schedulable simulation unit —
+// the currency of RunUnits and of the zsimd job service. Named-profile
+// and custom-profile specs build a fresh deterministic source per run;
+// TraceFile specs are loaded once here (errors surface at admission
+// time, not on a worker) and replayed via Reset.
+func (s Spec) Unit() (Unit, error) {
+	if err := s.Validate(); err != nil {
+		return Unit{}, err
+	}
+	cfg := Table3()[s.configName()]
+	name := s.configName()
+	if s.Custom != nil {
+		cfg = *s.Custom
+		name = "custom"
+	}
+	params := engine.DefaultParams()
+	if s.Params != nil {
+		params = *s.Params
+	}
+	src, err := s.source()
+	if err != nil {
+		return Unit{}, err
+	}
+	return Unit{
+		Label:      src.Name() + "/" + name,
+		NewSource:  func() trace.Source { src.Reset(); return src },
+		Config:     cfg,
+		Params:     params,
+		ConfigName: name,
+	}, nil
+}
+
 // LoadSpec reads and validates a JSON spec file.
 func LoadSpec(path string) (Spec, error) {
 	data, err := os.ReadFile(path)

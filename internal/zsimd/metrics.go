@@ -1,0 +1,226 @@
+package zsimd
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"bulkpreload/internal/jobq"
+	"bulkpreload/internal/obs"
+)
+
+// metrics is the service-level observability surface, published through
+// the same obs registry/Live machinery the engine uses. The obs layer
+// is deliberately goroutine-local (see internal/obs), so here — where
+// HTTP handlers and workers all report — every mutation and every
+// Snapshot goes through one mutex. Service metrics are scrape-rate, not
+// hot-path: the lock costs nothing that matters.
+type metrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+	seq int64
+
+	admitted      obs.Counter
+	rejectedFull  obs.Counter
+	rejectedRate  obs.Counter
+	rejectedDrain obs.Counter
+
+	done       obs.Counter
+	retried    obs.Counter
+	dead       obs.Counter
+	released   obs.Counter
+	recovered  obs.Counter
+	resumes    obs.Counter
+	checkpoint obs.Counter
+	damage     obs.Counter
+
+	inflight     obs.Gauge
+	instructions obs.Counter
+	latency      obs.Histogram // job wall latency, milliseconds
+
+	tenants map[string]*tenantMetrics
+}
+
+// tenantMetrics is one tenant's lazily-created counter set.
+type tenantMetrics struct {
+	admitted obs.Counter
+	rejected obs.Counter // admission rejects, any reason
+	done     obs.Counter
+	retried  obs.Counter
+	dead     obs.Counter
+}
+
+func newMetrics(q *jobq.Queue) *metrics {
+	m := &metrics{reg: obs.NewRegistry(), tenants: make(map[string]*tenantMetrics)}
+	r := m.reg
+	r.Counter("svc_jobs_admitted_total", "jobs", "jobs accepted into the queue", &m.admitted)
+	r.Counter("svc_admission_rejected_full_total", "jobs", "submissions shed: pending backlog at bound", &m.rejectedFull)
+	r.Counter("svc_admission_rejected_rate_total", "jobs", "submissions shed: tenant token bucket empty", &m.rejectedRate)
+	r.Counter("svc_admission_rejected_draining_total", "jobs", "submissions refused during shutdown drain", &m.rejectedDrain)
+	r.Counter("svc_jobs_done_total", "jobs", "jobs completed successfully", &m.done)
+	r.Counter("svc_jobs_retried_total", "attempts", "failed attempts sent back with backoff", &m.retried)
+	r.Counter("svc_jobs_dead_total", "jobs", "jobs dead-lettered after max attempts", &m.dead)
+	r.Counter("svc_jobs_released_total", "jobs", "in-flight jobs checkpointed and released by drain", &m.released)
+	r.Counter("svc_jobs_recovered_total", "jobs", "jobs requeued by crash recovery at startup", &m.recovered)
+	r.Counter("svc_resumes_total", "jobs", "attempts that resumed from a durable checkpoint", &m.resumes)
+	r.Counter("svc_checkpoints_total", "events", "durable job checkpoints written", &m.checkpoint)
+	r.Counter("svc_journal_damage_total", "events", "startups that salvaged a damaged journal", &m.damage)
+	r.Gauge("svc_jobs_inflight", "jobs", "jobs currently executing on workers", &m.inflight)
+	r.Counter("svc_instructions_total", "instructions", "instructions simulated across completed jobs", &m.instructions)
+	m.latency.SetBounds(10, 50, 100, 500, 1_000, 5_000, 30_000, 120_000)
+	r.Histogram("svc_job_latency_ms", "milliseconds", "completed-job wall latency", &m.latency)
+	r.GaugeFunc("svc_queue_pending", "jobs", "jobs waiting for a worker", func() int64 {
+		return int64(q.Depth().Pending)
+	})
+	r.GaugeFunc("svc_queue_running", "jobs", "jobs marked running in the journal", func() int64 {
+		return int64(q.Depth().Running)
+	})
+	r.GaugeFunc("svc_queue_dead", "jobs", "dead-lettered jobs held for inspection", func() int64 {
+		return int64(q.Depth().Dead)
+	})
+	return m
+}
+
+// tenant returns (creating on first use) the tenant's counter set.
+// Caller holds m.mu.
+func (m *metrics) tenant(name string) *tenantMetrics {
+	t, ok := m.tenants[name]
+	if !ok {
+		t = &tenantMetrics{}
+		m.tenants[name] = t
+		p := "svc_tenant_" + sanitizeTenant(name) + "_"
+		m.reg.Counter(p+"admitted_total", "jobs", "jobs admitted for tenant "+name, &t.admitted)
+		m.reg.Counter(p+"rejected_total", "jobs", "submissions shed for tenant "+name, &t.rejected)
+		m.reg.Counter(p+"done_total", "jobs", "jobs completed for tenant "+name, &t.done)
+		m.reg.Counter(p+"retried_total", "attempts", "attempts retried for tenant "+name, &t.retried)
+		m.reg.Counter(p+"dead_total", "jobs", "jobs dead-lettered for tenant "+name, &t.dead)
+	}
+	return t
+}
+
+// sanitizeTenant maps an arbitrary tenant string into the metric-name
+// alphabet; distinct tenants that sanitize alike share a counter set
+// suffixed by nothing cleverer than their sanitized form (acceptable:
+// tenant names are operator-chosen).
+func sanitizeTenant(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "anon"
+	}
+	return b.String()
+}
+
+func (m *metrics) jobAdmitted(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.admitted.Inc()
+	m.tenant(tenant).admitted.Inc()
+}
+
+// reject reasons for jobRejected.
+const (
+	rejectFull     = "full"
+	rejectRate     = "rate"
+	rejectDraining = "draining"
+)
+
+func (m *metrics) jobRejected(tenant, reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch reason {
+	case rejectFull:
+		m.rejectedFull.Inc()
+	case rejectRate:
+		m.rejectedRate.Inc()
+	case rejectDraining:
+		m.rejectedDrain.Inc()
+	}
+	m.tenant(tenant).rejected.Inc()
+}
+
+func (m *metrics) jobDone(tenant string, instructions, latencyMillis int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done.Inc()
+	m.instructions.Add(instructions)
+	m.latency.Observe(latencyMillis)
+	m.tenant(tenant).done.Inc()
+}
+
+func (m *metrics) jobRetried(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retried.Inc()
+	m.tenant(tenant).retried.Inc()
+}
+
+func (m *metrics) jobDead(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dead.Inc()
+	m.tenant(tenant).dead.Inc()
+}
+
+func (m *metrics) jobReleased() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.released.Inc()
+}
+
+func (m *metrics) jobsRecovered(n int, damaged bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recovered.Add(int64(n))
+	if damaged {
+		m.damage.Inc()
+	}
+}
+
+func (m *metrics) checkpointWritten() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checkpoint.Inc()
+}
+
+func (m *metrics) resumed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resumes.Inc()
+}
+
+func (m *metrics) inflightDelta(d int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight.Add(d)
+}
+
+// snapshot captures the registry under the lock (GaugeFunc closures
+// read the queue, which takes its own lock — ordering is always
+// metrics.mu then queue.mu, matching every other call site).
+func (m *metrics) snapshot() obs.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	return m.reg.Snapshot(m.seq)
+}
+
+// counterValue reads one counter by name (test hook).
+func (m *metrics) counterValue(name string) (int64, error) {
+	s := m.snapshot()
+	for _, v := range s.Values {
+		if v.Name == name {
+			return v.Value, nil
+		}
+	}
+	return 0, fmt.Errorf("zsimd: no metric %q", name)
+}
