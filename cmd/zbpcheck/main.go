@@ -3,9 +3,11 @@
 // enforces determinism, the paper's address bit-geometry, the
 // zero-allocation hot-path contract, metrics registration, error
 // handling, the shard scheduler's state-ownership discipline, the bulk
-// fast path's inertness proof, loop cancellation, and the freshness of
-// every //zbp: directive. CI runs it on every build; run it locally
-// with
+// fast path's inertness proof, loop cancellation, the service layer's
+// locking discipline (deadlock-free acquisition order, no blocking
+// under a mutex, guarded-field access), the crash-durability effect
+// order, and the freshness of every //zbp: directive. CI runs it on
+// every build; run it locally with
 //
 //	go run ./cmd/zbpcheck ./...
 //
@@ -15,8 +17,9 @@
 // stdout (and, under GITHUB_ACTIONS, as ::error workflow commands on
 // stderr so they surface as inline PR annotations). See
 // docs/STATIC_ANALYSIS.md for the analyzer catalogue and the
-// //zbp:hotpath, //zbp:wallclock, //zbp:allow, //zbp:inert, and
-// //zbp:bounded annotations.
+// //zbp:hotpath, //zbp:wallclock, //zbp:allow, //zbp:inert,
+// //zbp:bounded, //zbp:locked, //zbp:guardedby, //zbp:caller-holds,
+// and //zbp:durable annotations.
 //
 // The checker loads packages offline: module and vendored packages by
 // path mapping, standard-library imports from GOROOT source. Packages
@@ -42,11 +45,14 @@ import (
 	"bulkpreload/internal/check/bitrange"
 	"bulkpreload/internal/check/ctxflow"
 	"bulkpreload/internal/check/determinism"
+	"bulkpreload/internal/check/durable"
 	"bulkpreload/internal/check/erring"
 	"bulkpreload/internal/check/facts"
+	"bulkpreload/internal/check/guardedby"
 	"bulkpreload/internal/check/hotalloc"
 	"bulkpreload/internal/check/inertpath"
 	"bulkpreload/internal/check/load"
+	"bulkpreload/internal/check/lockorder"
 	"bulkpreload/internal/check/obsreg"
 	"bulkpreload/internal/check/sharedstate"
 	"bulkpreload/internal/check/staledirective"
@@ -62,6 +68,9 @@ var suite = []*analysis.Analyzer{
 	sharedstate.Analyzer,
 	inertpath.Analyzer,
 	ctxflow.Analyzer,
+	lockorder.Analyzer,
+	guardedby.Analyzer,
+	durable.Analyzer,
 	staledirective.Analyzer,
 }
 
@@ -118,7 +127,7 @@ func run(patterns []string, jsonOut bool) error {
 	// Facts flow from a package to its importers, so analysis must
 	// respect the import graph even when the user narrows the reported
 	// set: analyze everything in dependency order, filter afterwards.
-	pkgs = dependencyOrder(pkgs)
+	pkgs = load.DependencyOrder(pkgs)
 	selected := make(map[*load.Package]bool)
 	for _, pkg := range filterPackages(pkgs, root, wd, patterns) {
 		selected[pkg] = true
@@ -231,38 +240,6 @@ func relTo(wd, file string) string {
 		return r
 	}
 	return file
-}
-
-// dependencyOrder topologically sorts the module's packages so every
-// package follows the module-internal packages it imports (the order
-// fact-exporting analyzers require). Ties keep the loader's
-// deterministic directory order.
-func dependencyOrder(pkgs []*load.Package) []*load.Package {
-	byPath := make(map[string]*load.Package, len(pkgs))
-	for _, p := range pkgs {
-		byPath[p.PkgPath] = p
-	}
-	var out []*load.Package
-	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
-	var visit func(p *load.Package)
-	visit = func(p *load.Package) {
-		switch state[p.PkgPath] {
-		case 1, 2:
-			return // cycle (impossible in a compiling module) or done
-		}
-		state[p.PkgPath] = 1
-		for _, imp := range p.Types.Imports() {
-			if dep, ok := byPath[imp.Path()]; ok {
-				visit(dep)
-			}
-		}
-		state[p.PkgPath] = 2
-		out = append(out, p)
-	}
-	for _, p := range pkgs {
-		visit(p)
-	}
-	return out
 }
 
 // filterPackages applies the command-line patterns: "./..." (or no

@@ -28,6 +28,31 @@
 //	    the ctxflow analyzer, with a mandatory reason naming the actual
 //	    bound (EOF, closed channel, ...).
 //
+//	//zbp:locked <reason>
+//	    For the lockorder analyzer. On (or immediately above) a
+//	    blocking operation: the block-while-holding-a-mutex is
+//	    sanctioned, with a mandatory reason. On a function
+//	    declaration's doc comment: every blocking operation in the
+//	    body is sanctioned and the function's blocking summary is not
+//	    propagated to callers (the fsync-under-lock durability idiom).
+//
+//	//zbp:guardedby <field>
+//	    On a struct field: every read or write of the field must hold
+//	    the named sibling mutex; the guardedby analyzer checks all
+//	    access sites.
+//
+//	//zbp:caller-holds <field>
+//	    On a function declaration's doc comment: the function is only
+//	    called with the named mutex (a receiver field or package-level
+//	    sync var) already held; guardedby and lockorder treat it as
+//	    held on entry.
+//
+//	//zbp:durable <description...>
+//	    On a function declaration's doc comment: the function is part
+//	    of the crash-durability protocol; the durable analyzer checks
+//	    its effect order (journal append fsynced before state
+//	    mutation; temp-file Sync -> Rename -> directory Sync).
+//
 // Annotations are plain line comments and must start exactly with
 // "//zbp:" (no space), mirroring the //go: directive convention.
 package directive
@@ -66,6 +91,9 @@ const (
 	hotpathPrefix   = "//zbp:hotpath"
 	inertPrefix     = "//zbp:inert"
 	boundedPrefix   = "//zbp:bounded"
+	lockedPrefix    = "//zbp:locked"
+	durablePrefix   = "//zbp:durable"
+	holdsPrefix     = "//zbp:caller-holds"
 )
 
 // CollectAllows scans every comment in the pass for //zbp:allow
@@ -271,6 +299,172 @@ func (s *BoundedSet) ReportUnused(pass *analysis.Pass) {
 			pass.Reportf(b.Pos, "malformed //zbp:bounded: want //zbp:bounded <reason>")
 		case !b.Used:
 			pass.Reportf(b.Pos, "unused //zbp:bounded: no unbounded loop on this or the next line; delete the stale annotation")
+		}
+	}
+}
+
+// HasDurable reports whether fn's doc comment carries //zbp:durable.
+func HasDurable(fn *ast.FuncDecl) bool {
+	return hasDocDirective(fn, durablePrefix)
+}
+
+// DocLocked reports whether fn's doc comment carries //zbp:locked,
+// sanctioning every blocking operation in the body (and truncating the
+// function's blocking summary). The reason is mandatory; a bare
+// //zbp:locked in a doc comment reads as declared with an empty reason
+// so lockorder can reject it.
+func DocLocked(fn *ast.FuncDecl) (reason string, ok bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == lockedPrefix {
+			return "", true
+		}
+		if rest, found := strings.CutPrefix(c.Text, lockedPrefix+" "); found {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// CallerHolds returns the mutex names fn's doc comment declares via
+// //zbp:caller-holds (one name per directive line). Empty when the
+// function carries no such directive.
+func CallerHolds(fn *ast.FuncDecl) []string {
+	if fn.Doc == nil {
+		return nil
+	}
+	var names []string
+	for _, c := range fn.Doc.List {
+		if c.Text == holdsPrefix {
+			names = append(names, "") // malformed: consumer reports it
+			continue
+		}
+		rest, found := strings.CutPrefix(c.Text, holdsPrefix+" ")
+		if !found {
+			rest, found = strings.CutPrefix(c.Text, holdsPrefix+"\t")
+		}
+		if !found {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			names = append(names, "")
+			continue
+		}
+		names = append(names, fields...)
+	}
+	return names
+}
+
+// Locked is one parsed line-level //zbp:locked directive.
+type Locked struct {
+	Pos       token.Pos // position of the comment
+	File      string    // file the comment lives in
+	Line      int       // line the comment starts on
+	Reason    string    // mandatory justification
+	Used      bool      // set when the directive sanctions a blocking op
+	Malformed bool      // missing reason
+	InFuncDoc bool      // doc-comment form; usedness is tracked per function instead
+}
+
+// LockedSet holds one package's //zbp:locked directives with enough
+// position context to match them to blocking operations.
+type LockedSet struct {
+	fset   *token.FileSet
+	locked []*Locked
+}
+
+// CollectLocked scans every comment in the pass for //zbp:locked.
+// Directives inside function doc comments are collected but marked
+// InFuncDoc; DocLocked is their consumer and ReportUnused skips them.
+func CollectLocked(pass *analysis.Pass) *LockedSet {
+	s := &LockedSet{fset: pass.Fset}
+	for _, f := range pass.Files {
+		docs := make(map[*ast.CommentGroup]bool)
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc != nil {
+				docs[fn.Doc] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				l, ok := parseLocked(c)
+				if !ok {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				l.File, l.Line, l.Pos = p.Filename, p.Line, c.Pos()
+				l.InFuncDoc = docs[cg]
+				s.locked = append(s.locked, l)
+			}
+		}
+	}
+	return s
+}
+
+func parseLocked(c *ast.Comment) (*Locked, bool) {
+	if !strings.HasPrefix(c.Text, lockedPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(c.Text, lockedPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //zbp:lockedness
+	}
+	l := &Locked{Reason: strings.TrimSpace(rest)}
+	if l.Reason == "" {
+		l.Malformed = true
+	}
+	return l, true
+}
+
+// Exempt reports whether a blocking operation at pos carries a
+// line-level //zbp:locked on the same line or the line immediately
+// above, and marks the matching directive used.
+func (s *LockedSet) Exempt(pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	for _, l := range s.locked {
+		if l.Malformed || l.InFuncDoc || l.File != p.Filename {
+			continue
+		}
+		if l.Line == p.Line || l.Line == p.Line-1 {
+			l.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether a line-level //zbp:locked sits on pos's line
+// or the line immediately above, without marking it used — the summary
+// pass asks, only the reporting pass consumes.
+func (s *LockedSet) Covers(pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	for _, l := range s.locked {
+		if l.Malformed || l.InFuncDoc || l.File != p.Filename {
+			continue
+		}
+		if l.Line == p.Line || l.Line == p.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// ReportUnused reports every malformed line-level //zbp:locked and
+// every one that sanctioned no blocking operation. Doc-comment forms
+// are owned by DocLocked's consumer and skipped here.
+func (s *LockedSet) ReportUnused(pass *analysis.Pass) {
+	for _, l := range s.locked {
+		if l.InFuncDoc {
+			continue
+		}
+		switch {
+		case l.Malformed:
+			pass.Reportf(l.Pos, "malformed //zbp:locked: want //zbp:locked <reason>")
+		case !l.Used:
+			pass.Reportf(l.Pos, "unused //zbp:locked: no blocking operation on this or the next line; delete the stale annotation")
 		}
 	}
 }

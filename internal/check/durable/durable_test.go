@@ -1,0 +1,12 @@
+package durable_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/durable"
+)
+
+func TestDurable(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), durable.Analyzer, "durablefx")
+}

@@ -1,0 +1,192 @@
+package facts_test
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"bulkpreload/internal/check/facts"
+)
+
+// testFact is a well-behaved object fact.
+type testFact struct{ Keys []string }
+
+func (*testFact) AFact() {}
+
+// pkgFact is a well-behaved package fact.
+type pkgFact struct{ N int }
+
+func (*pkgFact) AFact() {}
+
+// undeclaredFact is never listed in FactTypes.
+type undeclaredFact struct{ X int }
+
+func (*undeclaredFact) AFact() {}
+
+// opaqueFact has no exported fields, so gob refuses it — the store must
+// fail loudly rather than silently dropping the fact.
+type opaqueFact struct{ ch chan int }
+
+func (*opaqueFact) AFact() {}
+
+var probe = &analysis.Analyzer{
+	Name:      "factsprobe",
+	Doc:       "exercises the fact store",
+	Run:       func(*analysis.Pass) (interface{}, error) { return nil, nil },
+	FactTypes: []analysis.Fact{(*testFact)(nil), (*pkgFact)(nil), (*opaqueFact)(nil)},
+}
+
+func newPass(s *facts.Store, pkg *types.Package) *analysis.Pass {
+	p := &analysis.Pass{Analyzer: probe, Pkg: pkg}
+	facts.Bind(p, s)
+	return p
+}
+
+// pkgCopy builds an independent copy of the same package: a fresh
+// *types.Package with the same path and same-named members, the way the
+// loader's body-free re-typecheck produces distinct objects for
+// identical source coordinates.
+func pkgCopy() (pkg *types.Package, topVar *types.Var, method, plainFn *types.Func) {
+	pkg = types.NewPackage("example.com/p", "p")
+	topVar = types.NewVar(token.NoPos, pkg, "Guarded", types.Typ[types.Int])
+	tn := types.NewTypeName(token.NoPos, pkg, "Queue", nil)
+	named := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "q", types.NewPointer(named))
+	method = types.NewFunc(token.NoPos, pkg, "Append", types.NewSignatureType(recv, nil, nil, nil, nil, false))
+	plainFn = types.NewFunc(token.NoPos, pkg, "Append", types.NewSignatureType(nil, nil, nil, nil, nil, false))
+	return pkg, topVar, method, plainFn
+}
+
+func TestObjectFactRoundTrip(t *testing.T) {
+	s := facts.NewStore()
+	pkg1, v1, _, _ := pkgCopy()
+	pass1 := newPass(s, pkg1)
+	pass1.ExportObjectFact(v1, &testFact{Keys: []string{"a", "b"}})
+
+	// Import through a distinct object with the same coordinates, the
+	// situation every downstream package is in.
+	_, v2, _, _ := pkgCopy()
+	pass2 := newPass(s, types.NewPackage("example.com/q", "q"))
+	var got testFact
+	if !pass2.ImportObjectFact(v2, &got) {
+		t.Fatal("fact did not round-trip to an object copy")
+	}
+	if len(got.Keys) != 2 || got.Keys[0] != "a" || got.Keys[1] != "b" {
+		t.Fatalf("decoded fact = %+v", got)
+	}
+
+	// Every import decodes a fresh copy: mutating one must not leak
+	// back into the store.
+	got.Keys[0] = "mutated"
+	var again testFact
+	if !pass2.ImportObjectFact(v2, &again) {
+		t.Fatal("second import failed")
+	}
+	if again.Keys[0] != "a" {
+		t.Fatalf("store leaked a live value: %+v", again)
+	}
+}
+
+func TestMissingFactIsFalse(t *testing.T) {
+	s := facts.NewStore()
+	pkg, v, _, _ := pkgCopy()
+	pass := newPass(s, pkg)
+	var got testFact
+	if pass.ImportObjectFact(v, &got) {
+		t.Fatal("import of a never-exported fact returned true")
+	}
+	// A different fact type on the same object is its own key.
+	pass.ExportObjectFact(v, &testFact{Keys: []string{"a"}})
+	var other pkgFact
+	if pass.ImportObjectFact(v, &other) {
+		t.Fatal("import found a fact of a different type")
+	}
+	if pass.ImportObjectFact(nil, &got) {
+		t.Fatal("import on nil object returned true")
+	}
+}
+
+func TestMethodPathDisambiguates(t *testing.T) {
+	s := facts.NewStore()
+	pkg1, _, m1, f1 := pkgCopy()
+	pass1 := newPass(s, pkg1)
+	pass1.ExportObjectFact(m1, &testFact{Keys: []string{"method"}})
+	pass1.ExportObjectFact(f1, &testFact{Keys: []string{"plain"}})
+
+	_, _, m2, f2 := pkgCopy()
+	pass2 := newPass(s, types.NewPackage("example.com/q", "q"))
+	var gm, gf testFact
+	if !pass2.ImportObjectFact(m2, &gm) || !pass2.ImportObjectFact(f2, &gf) {
+		t.Fatal("method/function facts did not round-trip")
+	}
+	if gm.Keys[0] != "method" || gf.Keys[0] != "plain" {
+		t.Fatalf("Queue.Append and Append collided: method=%v plain=%v", gm.Keys, gf.Keys)
+	}
+}
+
+func TestPackageFactRoundTrip(t *testing.T) {
+	s := facts.NewStore()
+	pkg1, _, _, _ := pkgCopy()
+	pass1 := newPass(s, pkg1)
+	pass1.ExportPackageFact(&pkgFact{N: 7})
+
+	pkg2, _, _, _ := pkgCopy()
+	pass2 := newPass(s, types.NewPackage("example.com/q", "q"))
+	var got pkgFact
+	if !pass2.ImportPackageFact(pkg2, &got) || got.N != 7 {
+		t.Fatalf("package fact did not round-trip: ok=%v got=%+v", got.N == 7, got)
+	}
+	if pass2.ImportPackageFact(types.NewPackage("example.com/other", "other"), &got) {
+		t.Fatal("package fact found for a package that never exported one")
+	}
+	if pass2.ImportPackageFact(nil, &got) {
+		t.Fatal("package fact found for nil package")
+	}
+}
+
+func TestAllFactsEnumerateOwnExports(t *testing.T) {
+	s := facts.NewStore()
+	pkg, v, _, _ := pkgCopy()
+	pass := newPass(s, pkg)
+	if n := len(pass.AllObjectFacts()); n != 0 {
+		t.Fatalf("fresh pass has %d object facts", n)
+	}
+	pass.ExportObjectFact(v, &testFact{Keys: []string{"a"}})
+	pass.ExportPackageFact(&pkgFact{N: 1})
+	if n := len(pass.AllObjectFacts()); n != 1 {
+		t.Fatalf("AllObjectFacts = %d, want 1", n)
+	}
+	if n := len(pass.AllPackageFacts()); n != 1 {
+		t.Fatalf("AllPackageFacts = %d, want 1", n)
+	}
+}
+
+func wantPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected a panic", name)
+		}
+	}()
+	f()
+}
+
+func TestStoreFailsLoudly(t *testing.T) {
+	s := facts.NewStore()
+	pkg, v, _, _ := pkgCopy()
+	pass := newPass(s, pkg)
+	wantPanic(t, "undeclared fact type", func() {
+		pass.ExportObjectFact(v, &undeclaredFact{X: 1})
+	})
+	wantPanic(t, "non-gob-serializable fact", func() {
+		pass.ExportObjectFact(v, &opaqueFact{ch: make(chan int)})
+	})
+	wantPanic(t, "object without a package", func() {
+		pass.ExportObjectFact(types.NewVar(token.NoPos, nil, "x", types.Typ[types.Int]), &testFact{})
+	})
+	wantPanic(t, "undeclared package fact type", func() {
+		pass.ExportPackageFact(&undeclaredFact{X: 1})
+	})
+}

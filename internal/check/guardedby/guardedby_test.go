@@ -1,0 +1,19 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "guarded")
+}
+
+// TestGuardedByCrossPackage proves the fact path: user reads
+// cell.Box.N, whose guard is known only through the exported object
+// fact on the field.
+func TestGuardedByCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "guarddeps/cell", "guarddeps/user")
+}

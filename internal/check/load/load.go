@@ -261,3 +261,35 @@ func FindModule(dir string) (root, path string, err error) {
 		}
 	}
 }
+
+// DependencyOrder topologically sorts loaded packages so every package
+// follows the module-internal packages it imports — the schedule
+// fact-exporting analyzers require (a fact must exist before its
+// importer asks for it). Ties keep the input's deterministic order.
+func DependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	var out []*Package
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.PkgPath] {
+		case 1, 2:
+			return // cycle (impossible in a compiling module) or done
+		}
+		state[p.PkgPath] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		state[p.PkgPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}

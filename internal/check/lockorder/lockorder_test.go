@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"bulkpreload/internal/check/analysistest"
+	"bulkpreload/internal/check/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "locks")
+}
+
+// TestLockOrderCrossPackage proves the interprocedural half: the cycle
+// in lockdeps/svc is only visible through lockdeps/store's exported
+// object fact (Get acquires Mu) and package lock-graph fact
+// (Mu -> Mu2 from Both).
+func TestLockOrderCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "lockdeps/store", "lockdeps/svc")
+}

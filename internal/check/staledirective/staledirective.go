@@ -10,10 +10,11 @@
 //     determinism in a non-critical package, an allow for erring
 //     outside cmd/ and sim) — the suppression is dead on arrival and
 //     silently stops meaning anything;
-//   - a placement no consumer reads: //zbp:hotpath or //zbp:inert
-//     anywhere but a function's doc comment, //zbp:wallclock outside
-//     the determinism-critical packages, //zbp:bounded in a package
-//     ctxflow does not scan.
+//   - a placement no consumer reads: //zbp:hotpath, //zbp:inert,
+//     //zbp:durable, or //zbp:caller-holds anywhere but a function's
+//     doc comment, //zbp:guardedby anywhere but a struct field's
+//     comment, //zbp:wallclock outside the determinism-critical
+//     packages, //zbp:bounded in a package ctxflow does not scan.
 //
 // In-scope usedness stays with the owning analyzer (unused allows with
 // hotalloc &c., unused bounded with ctxflow); this analyzer owns the
@@ -58,6 +59,9 @@ var scopes = map[string]func(pkgPath string) bool{
 	"sharedstate": sharedstate.InScope,
 	"inertpath":   everywhere,
 	"ctxflow":     ctxflow.InScope,
+	"lockorder":   everywhere,
+	"guardedby":   everywhere,
+	"durable":     everywhere,
 	name:          everywhere,
 }
 
@@ -74,9 +78,10 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	allows := directive.CollectAllows(pass, name)
 	for _, f := range pass.Files {
 		docs := funcDocRanges(f)
+		fields := fieldDocRanges(f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				checkComment(pass, allows, c, docs)
+				checkComment(pass, allows, c, docs, fields)
 			}
 		}
 	}
@@ -102,6 +107,27 @@ func funcDocRanges(f *ast.File) []docRange {
 	return out
 }
 
+// fieldDocRanges returns the extents of every struct field's doc and
+// trailing comments — the only placement guardedby reads.
+func fieldDocRanges(f *ast.File) []docRange {
+	var out []docRange
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+				if cg != nil {
+					out = append(out, docRange{int(cg.Pos()), int(cg.End())})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
 func inFuncDoc(c *ast.Comment, docs []docRange) bool {
 	for _, d := range docs {
 		if int(c.Pos()) >= d.pos && int(c.End()) <= d.end {
@@ -111,7 +137,7 @@ func inFuncDoc(c *ast.Comment, docs []docRange) bool {
 	return false
 }
 
-func checkComment(pass *analysis.Pass, allows *directive.AllowSet, c *ast.Comment, docs []docRange) {
+func checkComment(pass *analysis.Pass, allows *directive.AllowSet, c *ast.Comment, docs, fields []docRange) {
 	kind, rest, ok := directive.Split(c)
 	if !ok {
 		return
@@ -149,15 +175,33 @@ func checkComment(pass *analysis.Pass, allows *directive.AllowSet, c *ast.Commen
 			allows.Report(pass, c,
 				"//zbp:bounded in package %s, which the ctxflow analyzer never checks; delete the dead annotation", pass.Pkg.Name())
 		}
+	case "locked":
+		// Consumed on (or above) a blocking line and in function doc
+		// comments alike; lockorder itself reports the stale ones.
+	case "durable", "caller-holds":
+		if !inFuncDoc(c, docs) {
+			allows.Report(pass, c,
+				"stray //zbp:%s: only a function declaration's doc comment is read (by %s); this placement is consumed by no analyzer", kind, consumerOf(kind))
+		}
+	case "guardedby":
+		if !inFuncDoc(c, fields) {
+			allows.Report(pass, c,
+				"stray //zbp:guardedby: only a struct field's comment is read (by guardedby); this placement is consumed by no analyzer")
+		}
 	default:
 		allows.Report(pass, c,
-			"unknown //zbp: directive %q; the suite consumes hotpath, allow, wallclock, inert, and bounded", kind)
+			"unknown //zbp: directive %q; the suite consumes hotpath, allow, wallclock, inert, bounded, locked, guardedby, caller-holds, and durable", kind)
 	}
 }
 
 func consumerOf(kind string) string {
-	if kind == "inert" {
+	switch kind {
+	case "inert":
 		return "inertpath"
+	case "durable":
+		return "durable"
+	case "caller-holds":
+		return "guardedby and lockorder"
 	}
 	return "hotalloc"
 }

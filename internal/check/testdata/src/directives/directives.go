@@ -36,6 +36,33 @@ var pure int
 //zbp:inert
 func fast() int { return len(scratch) }
 
+//zbp:durable // want `stray //zbp:durable`
+var journal int
+
+//zbp:caller-holds mu // want `stray //zbp:caller-holds`
+var held int
+
+//zbp:guardedby mu // want `stray //zbp:guardedby`
+var loose int
+
+// guardedHome shows the one placement guardedby reads: a struct
+// field's comment. Accepted (whether the named mutex exists is the
+// guardedby analyzer's own business, not staledirective's).
+type guardedHome struct {
+	n int //zbp:guardedby mu
+}
+
+// persist carries the function-doc placements the durability and
+// locking analyzers read. Accepted.
+//
+//zbp:durable
+//zbp:caller-holds mu
+//zbp:locked the doc form sanctions the whole body
+func persist(g *guardedHome) int {
+	//zbp:locked the line form is consumed by lockorder wherever it appears
+	return g.n
+}
+
 //zbp:allow staledirective stale escape hatch // want `unused //zbp:allow staledirective`
 
 //zbp:allow staledirective the next directive is kept for the changelog

@@ -1,0 +1,205 @@
+// Package durablefx exercises the durable analyzer: the
+// journal-before-mutate rule (directly and through same-package callee
+// splices), the temp-file atomic-install sequence in every misordering,
+// error-branch exemption, and the no-effect annotation check.
+package durablefx
+
+import "os"
+
+type q struct {
+	f *os.File
+	n int
+}
+
+// goodJournal is the protocol done right: frame, write, fsync, and only
+// then the in-memory transition.
+//
+//zbp:durable
+func (q *q) goodJournal() error {
+	if _, err := q.f.Write([]byte("x")); err != nil {
+		return err
+	}
+	if err := q.f.Sync(); err != nil {
+		return err
+	}
+	q.n++
+	return nil
+}
+
+//zbp:durable
+func (q *q) ackEarly() error {
+	if _, err := q.f.Write([]byte("x")); err != nil {
+		return err
+	}
+	q.n++ // want `ackEarly makes an in-memory state transition before the journal write reaches Sync; a crash here forgets state the caller may already observe`
+	return q.f.Sync()
+}
+
+//zbp:durable
+func (q *q) ackFirst() error {
+	q.n++ // want `ackFirst makes an in-memory state transition with no synced journal write in this function; a //zbp:durable function must journal before it mutates`
+	if _, err := q.f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return q.f.Sync()
+}
+
+//zbp:durable
+func (q *q) lostWrite() error {
+	if _, err := q.f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return nil // want `lostWrite can return with a journal write that never reached Sync; an acknowledged record would be lost on crash`
+}
+
+// writeRec is an unannotated helper; its write effect splices into
+// durable callers by summary.
+func writeRec(f *os.File) error {
+	_, err := f.Write([]byte("r"))
+	return err
+}
+
+// writeRecSynced carries the fsync with it.
+func writeRecSynced(f *os.File) error {
+	if _, err := f.Write([]byte("r")); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+//zbp:durable
+func (q *q) applySpliced() error {
+	if err := writeRecSynced(q.f); err != nil {
+		return err
+	}
+	q.n++ // fine: the callee's Sync splices in ahead of the mutation
+	return nil
+}
+
+//zbp:durable
+func (q *q) applyUnsynced() error {
+	if err := writeRec(q.f); err != nil {
+		return err
+	}
+	q.n++ // want `applyUnsynced makes an in-memory state transition before the journal write reaches Sync`
+	return q.f.Sync()
+}
+
+// installGood is the full atomic-install sequence: temp, write, Sync,
+// Rename, directory Sync.
+//
+//zbp:durable
+func installGood(dir string) error {
+	t, err := os.CreateTemp(dir, "state-*")
+	if err != nil {
+		return err
+	}
+	if _, err := t.Write([]byte("s")); err != nil {
+		return err
+	}
+	if err := t.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(t.Name(), dir+"/state"); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+//zbp:durable
+func installTorn(dir string) error {
+	t, err := os.CreateTemp(dir, "state-*")
+	if err != nil {
+		return err
+	}
+	if _, err := t.Write([]byte("s")); err != nil {
+		return err
+	}
+	if err := os.Rename(t.Name(), dir+"/state"); err != nil { // want `installTorn renames the temp file before Sync; a crash after the rename can install a torn or empty file`
+		return err
+	}
+	if err := t.Sync(); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+//zbp:durable
+func installDirFirst(dir string) error {
+	t, err := os.CreateTemp(dir, "state-*")
+	if err != nil {
+		return err
+	}
+	if _, err := t.Write([]byte("s")); err != nil {
+		return err
+	}
+	if err := t.Sync(); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil { // want `installDirFirst syncs the directory before the rename; the directory entry being made durable does not exist yet`
+		return err
+	}
+	if err := os.Rename(t.Name(), dir+"/state"); err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+//zbp:durable
+func installNoDirSync(dir string) error {
+	t, err := os.CreateTemp(dir, "state-*")
+	if err != nil {
+		return err
+	}
+	if _, err := t.Write([]byte("s")); err != nil {
+		return err
+	}
+	if err := t.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(t.Name(), dir+"/state"); err != nil {
+		return err
+	}
+	return nil // want `installNoDirSync can return without syncing the directory after the rename; the rename itself can be lost on crash`
+}
+
+//zbp:durable
+func installNeverRenamed(dir string) error {
+	t, err := os.CreateTemp(dir, "state-*")
+	if err != nil {
+		return err
+	}
+	if _, err := t.Write([]byte("s")); err != nil {
+		return err
+	}
+	if err := t.Sync(); err != nil {
+		return err
+	}
+	return nil // want `installNeverRenamed can return with the temp file synced but never renamed into place; the new state is never installed`
+}
+
+//zbp:durable
+func noEffect() int { // want `noEffect is annotated //zbp:durable but has no durability-relevant effect \(no write, sync, rename, or state transition\); drop the annotation`
+	return 42
+}

@@ -1,0 +1,20 @@
+// Package cell owns an exported guarded field; the guard travels to
+// importers as an object fact keyed by the exported field.
+package cell
+
+import "sync"
+
+type Box struct {
+	Mu sync.Mutex
+	// N is the shared counter.
+	//
+	//zbp:guardedby Mu
+	N int
+}
+
+// Add is the package's own locked accessor.
+func (b *Box) Add(d int) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.N += d
+}

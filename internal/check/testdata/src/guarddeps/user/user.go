@@ -1,0 +1,15 @@
+// Package user accesses cell.Box.N from outside its package; the
+// guard is known only through the imported object fact.
+package user
+
+import "guarddeps/cell"
+
+func Read(b *cell.Box) int {
+	return b.N // want `Read accesses N without holding cell\.Box\.Mu \(//zbp:guardedby Mu\); lock it here or annotate the function //zbp:caller-holds Mu`
+}
+
+func ReadLocked(b *cell.Box) int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.N // fine: the mutex named by the fact is held
+}

@@ -1,0 +1,33 @@
+// Package store is the dependency half of the cross-package lock-order
+// fixture: it owns two package-level mutexes, exports per-function
+// acquisition facts (Get takes Mu), and contributes the
+// store.Mu -> store.Mu2 edge to its package lock-graph fact.
+package store
+
+import "sync"
+
+var (
+	// Mu guards the primary map; Mu2 guards the overflow index.
+	Mu  sync.Mutex
+	Mu2 sync.Mutex
+
+	hits int
+)
+
+// Get reads the store under Mu.
+func Get() int {
+	Mu.Lock()
+	defer Mu.Unlock()
+	hits++
+	return hits
+}
+
+// Both nests Mu2 under Mu — the ordering every importer inherits
+// through this package's lock-graph fact.
+func Both() int {
+	Mu.Lock()
+	defer Mu.Unlock()
+	Mu2.Lock()
+	defer Mu2.Unlock()
+	return hits
+}

@@ -1,0 +1,16 @@
+// Package svc closes a cross-package acquisition-order cycle: it nests
+// store.Get — whose store.Mu acquisition is known only through the
+// exported lock fact — under store.Mu2, inverting the
+// store.Mu -> store.Mu2 order carried by the dependency's package
+// lock-graph fact.
+package svc
+
+import "lockdeps/store"
+
+// Flush acquires store.Mu2 and then calls into the store, which takes
+// store.Mu.
+func Flush() int {
+	store.Mu2.Lock()
+	defer store.Mu2.Unlock()
+	return store.Get() // want `lock acquisition order cycle: store\.Mu2 -> store\.Mu -> store\.Mu2`
+}

@@ -1,0 +1,157 @@
+// Package locks exercises the lockorder analyzer inside one package:
+// self-deadlocks, blocking under a held mutex (directly and through an
+// unannotated helper), the //zbp:locked sanctioning forms, and a
+// same-package acquisition-order cycle closed through a
+// //zbp:caller-holds contract.
+package locks
+
+import (
+	"os"
+	"sync"
+)
+
+type box struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	ch    chan int
+	f     *os.File
+}
+
+func (b *box) relock() {
+	b.mu.Lock()
+	b.mu.Lock() // want `relock acquires locks\.box\.mu while already holding it`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func (b *box) sendUnderLock() {
+	b.mu.Lock()
+	b.ch <- 1 // want `sendUnderLock blocks \(channel send\) while holding locks\.box\.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) recvAfterUnlock() int {
+	b.mu.Lock()
+	b.mu.Unlock()
+	return <-b.ch // fine: the mutex is released before the receive
+}
+
+func (b *box) syncUnderLock() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.f.Sync() // want `syncUnderLock blocks \(file Sync\) while holding locks\.box\.mu`
+}
+
+func (b *box) waitUnderLock(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want `waitUnderLock blocks \(sync Wait\) while holding locks\.box\.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) sanctioned() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//zbp:locked the fsync is the critical section: the record must be durable before the lock is released
+	return b.f.Sync()
+}
+
+// docSanctioned is the whole-function form: every blocking operation in
+// the body is sanctioned and callers do not inherit the blocking
+// summary (the jobq append idiom — the caller owns the lock, the helper
+// owns the durable write).
+//
+//zbp:locked append-then-fsync inside the lock is the journal's durability contract
+//zbp:caller-holds mu
+func (b *box) docSanctioned() error {
+	if _, err := b.f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return b.f.Sync()
+}
+
+func (b *box) callsDocSanctioned() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.docSanctioned() // fine: docSanctioned's blocking is sanctioned where it lives
+}
+
+// blockyHelper blocks but holds nothing itself; the finding belongs to
+// whoever calls it with a lock held.
+func (b *box) blockyHelper() {
+	b.ch <- 2
+}
+
+func (b *box) callsBlockyUnderLock() {
+	b.mu.Lock()
+	b.blockyHelper() // want `callsBlockyUnderLock calls blockyHelper, which blocks \(channel send\), while holding locks\.box\.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) wakeIdiom() {
+	b.mu.Lock()
+	select { // fine: a default clause never blocks
+	case b.ch <- 1:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) selectUnderLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `selectUnderLock blocks \(select with no default\) while holding locks\.box\.mu`
+	case v := <-b.ch:
+		return v
+	}
+}
+
+// holdsEntry runs with mu already held per its contract, so taking
+// other nests other under mu.
+//
+//zbp:caller-holds mu
+func (b *box) holdsEntry() {
+	b.other.Lock() // want `lock acquisition order cycle: locks\.box\.mu -> locks\.box\.other -> locks\.box\.mu`
+	b.other.Unlock()
+}
+
+// inverted nests mu under other — the opposite order, closing the cycle
+// reported at the first edge above.
+func (b *box) inverted() {
+	b.other.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.other.Unlock()
+}
+
+func harmless() int {
+	//zbp:locked stale reason // want `unused //zbp:locked: no blocking operation`
+	return 2 + 2
+}
+
+//zbp:locked
+func (b *box) docMalformed() { // want `malformed //zbp:locked on docMalformed`
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 3
+}
+
+//zbp:locked nothing in this body blocks
+func docUnused() int { // want `unused //zbp:locked on docUnused`
+	return 1
+}
+
+type rw struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// doubleRead: RLock under RLock is legal (read locks are shared).
+func (r *rw) doubleRead() int {
+	r.mu.RLock()
+	v := r.n
+	r.mu.RLock()
+	v += r.n
+	r.mu.RUnlock()
+	r.mu.RUnlock()
+	return v
+}

@@ -224,6 +224,8 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 // the directory synced, so a crash at any point either leaves the
 // previous good checkpoint or the complete new one — never a torn file,
 // and never a rename that evaporates with the directory's page cache.
+//
+//zbp:durable
 func WriteCheckpointFile(path string, ck *Checkpoint) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")

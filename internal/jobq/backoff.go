@@ -106,10 +106,13 @@ func (tb *TokenBucket) Take(now int64) (ok bool, retryAfter time.Duration) {
 
 // TenantLimiter hands each tenant an independent token bucket.
 type TenantLimiter struct {
-	mu      sync.Mutex
-	rate    float64
-	burst   int
-	now     func() time.Time
+	mu    sync.Mutex
+	rate  float64
+	burst int
+	now   func() time.Time
+	// buckets lazily materializes one bucket per tenant.
+	//
+	//zbp:guardedby mu
 	buckets map[string]*TokenBucket
 }
 

@@ -156,9 +156,18 @@ type Queue struct {
 	dir  string
 	opts Options
 
-	mu     sync.Mutex
-	st     *state
-	f      *os.File
+	mu sync.Mutex
+	// st is the replayed in-memory image of the journal.
+	//
+	//zbp:guardedby mu
+	st *state
+	// f is the append-only journal handle.
+	//
+	//zbp:guardedby mu
+	f *os.File
+	// closed fails mutating operations after Close.
+	//
+	//zbp:guardedby mu
 	closed bool
 
 	// notify wakes blocked Next callers after any transition that could
@@ -229,6 +238,7 @@ func (q *Queue) Close() error {
 		return nil
 	}
 	q.closed = true
+	//zbp:locked closing the handle after closed=true must be atomic with the flag, or a racing append writes to a closed file
 	return q.f.Close()
 }
 
@@ -240,7 +250,15 @@ func (q *Queue) CheckpointPath(id string) string {
 	return filepath.Join(q.dir, id+".ckpt")
 }
 
-// append journals one record and fsyncs. Caller holds q.mu.
+// append journals one record and fsyncs. The append-then-fsync pair
+// runs inside the caller's critical section by design: releasing the
+// lock between the write and the Sync would let a concurrent append
+// interleave frames, and acknowledging before the Sync would break the
+// crash-durability contract.
+//
+//zbp:caller-holds mu
+//zbp:locked append-then-fsync inside the lock is the journal's durability contract
+//zbp:durable
 func (q *Queue) append(rec *record) error {
 	if q.closed {
 		return errors.New("jobq: queue closed")
@@ -264,6 +282,8 @@ func (q *Queue) wake() {
 // Enqueue admits a new job, journaled and fsynced before returning: an
 // acknowledged job survives kill -9. Returns ErrQueueFull when the
 // pending backlog is at MaxDepth.
+//
+//zbp:durable
 func (q *Queue) Enqueue(tenant string, payload json.RawMessage) (Job, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -284,6 +304,8 @@ func (q *Queue) Enqueue(tenant string, payload json.RawMessage) (Job, error) {
 }
 
 // pendingLocked counts jobs waiting for a worker.
+//
+//zbp:caller-holds mu
 func (q *Queue) pendingLocked() int {
 	n := 0
 	for _, id := range q.st.order {
@@ -299,23 +321,13 @@ func (q *Queue) pendingLocked() int {
 // and returns a copy. It returns ctx.Err() once ctx is done.
 func (q *Queue) Next(ctx context.Context) (Job, error) {
 	for {
-		q.mu.Lock()
-		j, wait := q.pickLocked()
-		if j != nil {
-			rec := &record{Op: opStart, ID: j.ID, Attempt: j.Attempt + 1}
-			if err := q.append(rec); err != nil {
-				q.mu.Unlock()
-				return Job{}, err
-			}
-			if err := q.st.apply(rec); err != nil {
-				q.mu.Unlock()
-				return Job{}, err
-			}
-			out := *j
-			q.mu.Unlock()
-			return out, nil
+		j, wait, claimed, err := q.tryNext()
+		if err != nil {
+			return Job{}, err
 		}
-		q.mu.Unlock()
+		if claimed {
+			return j, nil
+		}
 
 		timer := time.NewTimer(wait)
 		select {
@@ -329,9 +341,34 @@ func (q *Queue) Next(ctx context.Context) (Job, error) {
 	}
 }
 
+// tryNext claims the eligible pending job with the lowest Seq under a
+// single lock hold, journaling the start record. claimed is false when
+// nothing is eligible; wait then says how long until the earliest
+// backoff expires.
+//
+//zbp:durable
+func (q *Queue) tryNext() (Job, time.Duration, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, wait := q.pickLocked()
+	if j == nil {
+		return Job{}, wait, false, nil
+	}
+	rec := &record{Op: opStart, ID: j.ID, Attempt: j.Attempt + 1}
+	if err := q.append(rec); err != nil {
+		return Job{}, 0, false, err
+	}
+	if err := q.st.apply(rec); err != nil {
+		return Job{}, 0, false, err
+	}
+	return *j, 0, true, nil
+}
+
 // pickLocked returns the eligible pending job with the lowest Seq, or
 // (nil, wait) where wait is how long until the earliest backoff expires
 // (a long poll when nothing is pending at all).
+//
+//zbp:caller-holds mu
 func (q *Queue) pickLocked() (*Job, time.Duration) {
 	now := q.opts.Now().UnixNano()
 	var best *Job
@@ -363,6 +400,8 @@ func (q *Queue) pickLocked() (*Job, time.Duration) {
 // MarkCheckpoint journals that a durable checkpoint for the job reached
 // instructions. Call after engine.WriteCheckpointFile succeeds — the
 // journal must never point at a checkpoint that is not on disk.
+//
+//zbp:durable
 func (q *Queue) MarkCheckpoint(id string, instructions int64) error {
 	return q.transition(&record{Op: opCheckpoint, ID: id, Instructions: instructions})
 }
@@ -382,6 +421,8 @@ func (q *Queue) MarkResumedFrom(id string, instructions int64) error {
 
 // Done completes a job with its serialized result and removes the
 // job's checkpoint file (no longer needed).
+//
+//zbp:durable
 func (q *Queue) Done(id string, result json.RawMessage) error {
 	if err := q.transition(&record{Op: opDone, ID: id, Result: result}); err != nil {
 		return err
@@ -395,6 +436,8 @@ func (q *Queue) Done(id string, result json.RawMessage) error {
 // exponential backoff (deterministic jitter keyed by job ID and
 // attempt). Returns whether the job is now dead and, if not, the retry
 // delay applied.
+//
+//zbp:durable
 func (q *Queue) Fail(id string, cause string) (dead bool, delay time.Duration, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -410,9 +453,14 @@ func (q *Queue) Fail(id string, cause string) (dead bool, delay time.Duration, e
 		if err := q.st.apply(rec); err != nil {
 			return false, 0, err
 		}
+		//zbp:locked removing a stale checkpoint is a local unlink, ordered after the dead-letter record on purpose
 		os.Remove(q.CheckpointPath(id))
 		return true, 0, nil
 	}
+	// The backoff is pure arithmetic over (id, attempt); computing it
+	// before the journal append keeps the post-Sync tail free of writes.
+	//zbp:locked the jitter hash writes to an in-memory fnv state, never to I/O
+	delay = q.opts.Retry.Delay(id, j.Attempt)
 	rec := &record{Op: opFail, ID: id, Attempt: j.Attempt, Error: cause}
 	if err := q.append(rec); err != nil {
 		return false, 0, err
@@ -420,7 +468,6 @@ func (q *Queue) Fail(id string, cause string) (dead bool, delay time.Duration, e
 	if err := q.st.apply(rec); err != nil {
 		return false, 0, err
 	}
-	delay = q.opts.Retry.Delay(id, j.Attempt)
 	j.NotBefore = q.opts.Now().Add(delay).UnixNano()
 	q.wake() // re-arm Next's backoff timer
 	return false, delay, nil
@@ -430,6 +477,8 @@ func (q *Queue) Fail(id string, cause string) (dead bool, delay time.Duration, e
 // — the graceful-shutdown path: the job did not fail, its worker is
 // going away. Any checkpoint taken during the drain stays, so the next
 // run resumes.
+//
+//zbp:durable
 func (q *Queue) Release(id string) error {
 	if err := q.transition(&record{Op: opRelease, ID: id}); err != nil {
 		return err
@@ -441,6 +490,8 @@ func (q *Queue) Release(id string) error {
 }
 
 // transition journals and applies a single-job record.
+//
+//zbp:durable
 func (q *Queue) transition(rec *record) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()

@@ -266,6 +266,8 @@ func (st *state) lookup(rec *record) (*Job, error) {
 // writeCompacted writes the state as a fresh journal at path via the
 // atomic temp+fsync+rename+dirsync sequence. Each live job becomes one
 // snapshot record, in first-appearance order.
+//
+//zbp:durable
 func writeCompacted(path string, st *state) error {
 	dir, base := splitPath(path)
 	f, err := os.CreateTemp(dir, base+".tmp*")

@@ -126,7 +126,10 @@ type Event struct {
 type Trace struct {
 	epoch time.Time
 	mu    sync.Mutex
-	evs   []Event
+	// evs holds adopted events.
+	//
+	//zbp:guardedby mu
+	evs []Event
 }
 
 // NewTrace returns an empty trace whose epoch is now. All span times

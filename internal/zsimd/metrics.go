@@ -18,6 +18,9 @@ import (
 type metrics struct {
 	mu  sync.Mutex
 	reg *obs.Registry
+	// seq numbers registry snapshots.
+	//
+	//zbp:guardedby mu
 	seq int64
 
 	admitted      obs.Counter
@@ -38,6 +41,9 @@ type metrics struct {
 	instructions obs.Counter
 	latency      obs.Histogram // job wall latency, milliseconds
 
+	// tenants lazily materializes one counter set per tenant.
+	//
+	//zbp:guardedby mu
 	tenants map[string]*tenantMetrics
 }
 
@@ -82,7 +88,8 @@ func newMetrics(q *jobq.Queue) *metrics {
 }
 
 // tenant returns (creating on first use) the tenant's counter set.
-// Caller holds m.mu.
+//
+//zbp:caller-holds mu
 func (m *metrics) tenant(name string) *tenantMetrics {
 	t, ok := m.tenants[name]
 	if !ok {
