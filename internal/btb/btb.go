@@ -12,6 +12,20 @@
 // index bit range rather than fixed: IndexLo 58 gives 32-byte rows, 57
 // gives 64, 56 gives 128. Tags may be truncated (TagBits) to model the
 // aliasing of partial-tag hardware designs; TagBits = 0 means full tags.
+//
+// # Storage layouts
+//
+// The default storage is a structure-of-arrays of bit-packed uint64
+// lanes (see packed.go): one tag word per slot carrying
+// valid|offset|tag, one raw target word, a 16-bit metadata field
+// (dir|usePHT|useCTB|length) packed four to a word, and one LRU word
+// per row holding the whole recency order as 4-bit ranks — a row scan
+// is a handful of masked word compares and an LRU update is a shift,
+// the way hardware and constant-driven simulators store this state.
+// The original array-of-structs layout survives in oracle.go behind
+// Config.StructLayout; the two are observationally equivalent, which
+// the layout differential gate and the property/fuzz battery in this
+// package prove (docs/PERFORMANCE.md documents the word formats).
 package btb
 
 import (
@@ -44,6 +58,11 @@ type Entry struct {
 	Length uint8
 }
 
+// MaxWays bounds the associativity: the packed layout keeps a whole
+// row's recency order in one uint64 as 4-bit ranks, so a row can hold
+// at most 16 ways (the paper's widest table uses 6).
+const MaxWays = 16
+
 // Config fixes a table's geometry.
 type Config struct {
 	Name    string // for diagnostics: "BTB1", "BTBP", "BTB2"
@@ -55,6 +74,12 @@ type Config struct {
 	// that are compared on lookup. 0 compares all bits above the index
 	// (exact, alias-free tagging).
 	TagBits uint
+	// StructLayout selects the retained array-of-structs storage backend
+	// instead of the default bit-packed structure-of-arrays lanes. The
+	// layouts are observationally equivalent (the layout differential
+	// gate proves it); the struct layout survives as the serial oracle
+	// the packed one is judged against.
+	StructLayout bool
 }
 
 // Validate checks that the geometry is self-consistent: the index range
@@ -67,6 +92,10 @@ func (c Config) Validate() error {
 	}
 	if c.Ways <= 0 {
 		return fmt.Errorf("btb %s: ways %d must be positive", c.Name, c.Ways)
+	}
+	if c.Ways > MaxWays {
+		return fmt.Errorf("btb %s: ways %d exceeds %d (a packed LRU word holds one 4-bit rank per way)",
+			c.Name, c.Ways, MaxWays)
 	}
 	if c.IndexHi > c.IndexLo || c.IndexLo > 63 {
 		return fmt.Errorf("btb %s: invalid index bit range %d:%d", c.Name, c.IndexHi, c.IndexLo)
@@ -128,11 +157,28 @@ type metrics struct {
 
 // Table is a set-associative tagged BTB.
 type Table struct {
-	cfg   Config
-	slots []Entry // rows x ways, flat
-	// order holds per-row recency order: order[row*ways+k] is the way
-	// index at recency rank k (rank 0 = MRU, rank ways-1 = LRU).
-	order []uint8
+	cfg Config
+
+	// Packed structure-of-arrays lanes (the default layout; all nil when
+	// ref is set). See packed.go for the word formats.
+	tags    []uint64 // per slot: valid | in-line offset | tag
+	targets []uint64 // per slot: raw target address
+	meta    []uint64 // four 16-bit dir/usePHT/useCTB/length fields per word
+	lru     []uint64 // per row: recency order, 4-bit way per rank (rank 0 = MRU)
+
+	// Precomputed packed-geometry constants (see packed.go).
+	offBits   uint   // in-line offset width: 63 - IndexLo
+	tagShift  uint   // tag field's shift within the tag word: 1 + offBits
+	hiBits    uint   // address bits above the index: IndexHi
+	lineBytes uint64 // LineBytes() as uint64
+	entryMask uint64 // valid + compared tag bits + offset
+	lineMask  uint64 // valid + compared tag bits
+	initLRU   uint64 // reset recency order: way k at rank k
+
+	// ref, when non-nil, is the retained array-of-structs storage and
+	// the packed lanes are unused (Config.StructLayout).
+	ref *structStore
+
 	// inj, when non-nil, strikes soft errors on valid-entry reads; nil
 	// (the default) is the zero-cost disabled state. See fault.go.
 	inj *fault.Injector
@@ -146,14 +192,35 @@ func New(cfg Config) *Table {
 		panic(err)
 	}
 	t := &Table{
-		cfg:   cfg,
-		slots: make([]Entry, cfg.Rows*cfg.Ways),
-		order: make([]uint8, cfg.Rows*cfg.Ways),
+		cfg:       cfg,
+		offBits:   63 - cfg.IndexLo,
+		hiBits:    cfg.IndexHi,
+		lineBytes: uint64(cfg.LineBytes()),
 	}
-	for row := 0; row < cfg.Rows; row++ {
-		for w := 0; w < cfg.Ways; w++ {
-			t.order[row*cfg.Ways+w] = uint8(w)
-		}
+	t.tagShift = 1 + t.offBits
+	cmp := t.hiBits
+	if cfg.TagBits != 0 && cfg.TagBits <= t.hiBits {
+		cmp = cfg.TagBits
+	}
+	t.lineMask = 1
+	if cmp > 0 {
+		t.lineMask |= ((uint64(1) << cmp) - 1) << t.tagShift
+	}
+	t.entryMask = t.lineMask | ((uint64(1)<<t.offBits)-1)<<1
+	for w := 0; w < cfg.Ways; w++ {
+		t.initLRU |= uint64(w) << (4 * uint(w))
+	}
+	if cfg.StructLayout {
+		t.ref = newStructStore(cfg)
+		return t
+	}
+	n := cfg.Rows * cfg.Ways
+	t.tags = make([]uint64, n)
+	t.targets = make([]uint64, n)
+	t.meta = make([]uint64, (n+3)/4)
+	t.lru = make([]uint64, cfg.Rows)
+	for row := range t.lru {
+		t.lru[row] = t.initLRU
 	}
 	return t
 }
@@ -191,46 +258,6 @@ func (t *Table) RowFor(a zaddr.Addr) int {
 	return int(zaddr.Bits(a, t.cfg.IndexHi, t.cfg.IndexLo))
 }
 
-// tagOf extracts the comparison tag for an address. With TagBits = 0 the
-// tag is every bit above the index; otherwise only TagBits bits
-// immediately above the index, which lets distinct lines alias.
-//
-//zbp:hotpath
-func (t *Table) tagOf(a zaddr.Addr) uint64 {
-	if t.cfg.IndexHi == 0 {
-		return 0 // index consumes the whole address; no tag bits remain
-	}
-	hi := uint(0)
-	if t.cfg.TagBits != 0 && t.cfg.TagBits <= t.cfg.IndexHi {
-		hi = t.cfg.IndexHi - t.cfg.TagBits
-	}
-	return zaddr.Bits(a, hi, t.cfg.IndexHi-1)
-}
-
-// lineMatch reports whether entry address ea and probe address pa map to
-// the same row with equal tags — i.e. whether hardware would consider
-// them the same 32-byte line.
-//
-//zbp:hotpath
-func (t *Table) lineMatch(ea, pa zaddr.Addr) bool {
-	return t.RowFor(ea) == t.RowFor(pa) && t.tagOf(ea) == t.tagOf(pa)
-}
-
-// lineOffset returns a's byte offset within this table's row coverage.
-//
-//zbp:hotpath
-func (t *Table) lineOffset(a zaddr.Addr) uint {
-	return uint(zaddr.OffsetWithin(a, uint64(t.cfg.LineBytes())))
-}
-
-// entryMatch reports whether an entry would be recognized as the branch
-// at address a: same line (per tag policy) and same offset in the line.
-//
-//zbp:hotpath
-func (t *Table) entryMatch(e *Entry, a zaddr.Addr) bool {
-	return e.Valid && t.lineMatch(e.Addr, a) && t.lineOffset(e.Addr) == t.lineOffset(a)
-}
-
 // Hit describes one matching entry found by LookupLine.
 type Hit struct {
 	Way   int
@@ -245,24 +272,33 @@ type Hit struct {
 //
 //zbp:hotpath
 func (t *Table) LookupLine(line zaddr.Addr, out []Hit) []Hit {
+	if t.ref != nil {
+		return t.refLookupLine(line, out)
+	}
 	t.met.lookups.Inc()
 	row := t.RowFor(line)
 	base := row * t.cfg.Ways
-	mruWay := int(t.order[base])
+	key := t.packKey(line)
+	mruWay := int(t.lru[row] & 0xF)
 	found := false
 	for w := 0; w < t.cfg.Ways; w++ {
-		e := &t.slots[base+w]
-		if !e.Valid {
+		k := t.tags[base+w]
+		if k&1 == 0 {
 			continue
 		}
 		if t.inj != nil {
 			t.faultCheck(row, w)
-			if !e.Valid {
+			k = t.tags[base+w]
+			if k&1 == 0 {
 				continue // parity recovery (or tag upset) dropped it
 			}
 		}
-		if t.lineMatch(e.Addr, line) {
-			out = append(out, Hit{Way: w, MRU: w == mruWay, Entry: *e})
+		if (k^key)&t.lineMask == 0 {
+			var h Hit
+			h.Way = w
+			h.MRU = w == mruWay
+			t.unpackEntry(row, w, &h.Entry)
+			out = append(out, h)
 			found = true
 		}
 	}
@@ -276,42 +312,62 @@ func (t *Table) LookupLine(line zaddr.Addr, out []Hit) []Hit {
 //
 //zbp:hotpath
 func (t *Table) Find(a zaddr.Addr) (Entry, bool) {
-	if e := t.find(a); e != nil {
-		return *e, true
+	if t.ref != nil {
+		if e := t.refFind(a); e != nil {
+			return *e, true
+		}
+		return Entry{}, false
+	}
+	row := t.RowFor(a)
+	if w := t.findWay(row, a); w >= 0 {
+		var e Entry
+		t.unpackEntry(row, w, &e)
+		return e, true
 	}
 	return Entry{}, false
 }
 
+// findWay scans row for the entry recognized as branch a (striking
+// scheduled faults on the valid entries it reads, like the hardware
+// read it models) and returns its way, or -1.
+//
 //zbp:hotpath
-func (t *Table) find(a zaddr.Addr) *Entry {
-	row := t.RowFor(a)
+func (t *Table) findWay(row int, a zaddr.Addr) int {
 	base := row * t.cfg.Ways
+	key := t.packKey(a)
 	for w := 0; w < t.cfg.Ways; w++ {
-		e := &t.slots[base+w]
-		if t.inj != nil && e.Valid {
+		if t.inj != nil && t.tags[base+w]&1 != 0 {
 			t.faultCheck(row, w)
 		}
-		if t.entryMatch(e, a) {
-			return e
+		if (t.tags[base+w]^key)&t.entryMask == 0 {
+			return w
 		}
 	}
-	return nil
+	return -1
 }
 
 // Contains reports whether branch a has an entry.
-func (t *Table) Contains(a zaddr.Addr) bool { return t.find(a) != nil }
+func (t *Table) Contains(a zaddr.Addr) bool {
+	if t.ref != nil {
+		return t.refFind(a) != nil
+	}
+	return t.findWay(t.RowFor(a), a) >= 0
+}
 
 // Update overwrites the existing entry for branch e.Addr in place,
 // preserving its recency rank. It reports whether an entry was found.
 //
 //zbp:hotpath
 func (t *Table) Update(e Entry) bool {
-	slot := t.find(e.Addr)
-	if slot == nil {
+	if t.ref != nil {
+		return t.refUpdate(e)
+	}
+	row := t.RowFor(e.Addr)
+	w := t.findWay(row, e.Addr)
+	if w < 0 {
 		return false
 	}
-	e.Valid = true
-	*slot = e
+	t.writeSlot(row*t.cfg.Ways+w, e)
 	t.met.updates.Inc()
 	return true
 }
@@ -338,13 +394,16 @@ func (t *Table) InsertAtLRU(e Entry) (victim Entry, evicted bool) {
 
 //zbp:hotpath
 func (t *Table) insert(e Entry, atLRU bool) (victim Entry, evicted bool) {
-	e.Valid = true
+	if t.ref != nil {
+		return t.refInsert(e, atLRU)
+	}
 	row := t.RowFor(e.Addr)
 	base := row * t.cfg.Ways
+	key := t.packKey(e.Addr)
 	// Already present: in-place update.
 	for w := 0; w < t.cfg.Ways; w++ {
-		if t.entryMatch(&t.slots[base+w], e.Addr) {
-			t.slots[base+w] = e
+		if (t.tags[base+w]^key)&t.entryMask == 0 {
+			t.writeSlot(base+w, e)
 			t.met.updates.Inc()
 			if atLRU {
 				t.demoteWay(row, w)
@@ -357,19 +416,19 @@ func (t *Table) insert(e Entry, atLRU bool) (victim Entry, evicted bool) {
 	// Free way?
 	way := -1
 	for w := 0; w < t.cfg.Ways; w++ {
-		if !t.slots[base+w].Valid {
+		if t.tags[base+w]&1 == 0 {
 			way = w
 			break
 		}
 	}
 	if way < 0 {
 		// Replace LRU.
-		way = int(t.order[base+t.cfg.Ways-1])
-		victim = t.slots[base+way]
+		way = int(t.lru[row] >> (4 * uint(t.cfg.Ways-1)) & 0xF)
+		t.unpackEntry(row, way, &victim)
 		evicted = true
 		t.met.evicts.Inc()
 	}
-	t.slots[base+way] = e
+	t.writeSlot(base+way, e)
 	t.met.installs.Inc()
 	if atLRU {
 		t.demoteWay(row, way)
@@ -384,13 +443,13 @@ func (t *Table) insert(e Entry, atLRU bool) (victim Entry, evicted bool) {
 //
 //zbp:hotpath
 func (t *Table) Touch(a zaddr.Addr) bool {
+	if t.ref != nil {
+		return t.refTouch(a)
+	}
 	row := t.RowFor(a)
-	base := row * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		if t.entryMatch(&t.slots[base+w], a) {
-			t.promoteWay(row, w)
-			return true
-		}
+	if w := t.matchWay(row, a); w >= 0 {
+		t.promoteWay(row, w)
+		return true
 	}
 	return false
 }
@@ -401,13 +460,13 @@ func (t *Table) Touch(a zaddr.Addr) bool {
 //
 //zbp:hotpath
 func (t *Table) Demote(a zaddr.Addr) bool {
+	if t.ref != nil {
+		return t.refDemote(a)
+	}
 	row := t.RowFor(a)
-	base := row * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		if t.entryMatch(&t.slots[base+w], a) {
-			t.demoteWay(row, w)
-			return true
-		}
+	if w := t.matchWay(row, a); w >= 0 {
+		t.demoteWay(row, w)
+		return true
 	}
 	return false
 }
@@ -417,68 +476,66 @@ func (t *Table) Demote(a zaddr.Addr) bool {
 //
 //zbp:hotpath
 func (t *Table) Invalidate(a zaddr.Addr) bool {
+	if t.ref != nil {
+		return t.refInvalidate(a)
+	}
 	row := t.RowFor(a)
-	base := row * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		if t.entryMatch(&t.slots[base+w], a) {
-			t.slots[base+w] = Entry{}
-			t.demoteWay(row, w)
-			return true
-		}
+	if w := t.matchWay(row, a); w >= 0 {
+		t.clearSlot(row*t.cfg.Ways + w)
+		t.demoteWay(row, w)
+		return true
 	}
 	return false
 }
 
-// promoteWay moves way w of row to recency rank 0 (MRU).
+// matchWay scans row for the entry recognized as branch a without
+// striking faults (the write paths Touch/Demote/Invalidate/insert are
+// not array reads in the fault model) and returns its way, or -1.
 //
 //zbp:hotpath
-func (t *Table) promoteWay(row, w int) {
+func (t *Table) matchWay(row int, a zaddr.Addr) int {
 	base := row * t.cfg.Ways
-	ord := t.order[base : base+t.cfg.Ways]
-	pos := 0
-	for ; pos < len(ord); pos++ {
-		if int(ord[pos]) == w {
-			break
+	key := t.packKey(a)
+	for w := 0; w < t.cfg.Ways; w++ {
+		if (t.tags[base+w]^key)&t.entryMask == 0 {
+			return w
 		}
 	}
-	copy(ord[1:pos+1], ord[0:pos])
-	ord[0] = uint8(w)
-}
-
-// demoteWay moves way w of row to recency rank ways-1 (LRU).
-//
-//zbp:hotpath
-func (t *Table) demoteWay(row, w int) {
-	base := row * t.cfg.Ways
-	ord := t.order[base : base+t.cfg.Ways]
-	pos := 0
-	for ; pos < len(ord); pos++ {
-		if int(ord[pos]) == w {
-			break
-		}
-	}
-	copy(ord[pos:], ord[pos+1:])
-	ord[len(ord)-1] = uint8(w)
+	return -1
 }
 
 // MRUWay returns the most recently used way of the row containing a.
 func (t *Table) MRUWay(a zaddr.Addr) int {
-	return int(t.order[t.RowFor(a)*t.cfg.Ways])
+	if t.ref != nil {
+		return t.refMRUWay(a)
+	}
+	return int(t.lru[t.RowFor(a)] & 0xF)
 }
 
 // LRUEntry returns a copy of the LRU entry of the row containing a.
 func (t *Table) LRUEntry(a zaddr.Addr) Entry {
-	base := t.RowFor(a) * t.cfg.Ways
-	return t.slots[base+int(t.order[base+t.cfg.Ways-1])]
+	if t.ref != nil {
+		return t.refLRUEntry(a)
+	}
+	row := t.RowFor(a)
+	way := int(t.lru[row] >> (4 * uint(t.cfg.Ways-1)) & 0xF)
+	var e Entry
+	t.unpackEntry(row, way, &e)
+	return e
 }
 
 // Entries returns the branch addresses of all valid entries, in storage
 // order. Intended for invariant checks and diagnostics.
 func (t *Table) Entries() []zaddr.Addr {
+	if t.ref != nil {
+		return t.refEntries()
+	}
 	out := make([]zaddr.Addr, 0, t.CountValid())
-	for i := range t.slots {
-		if t.slots[i].Valid {
-			out = append(out, t.slots[i].Addr)
+	var e Entry
+	for i := range t.tags {
+		if t.tags[i]&1 != 0 {
+			t.unpackEntry(i/t.cfg.Ways, i%t.cfg.Ways, &e)
+			out = append(out, e.Addr)
 		}
 	}
 	return out
@@ -486,9 +543,12 @@ func (t *Table) Entries() []zaddr.Addr {
 
 // CountValid returns the number of valid entries in the whole table.
 func (t *Table) CountValid() int {
+	if t.ref != nil {
+		return t.refCountValid()
+	}
 	n := 0
-	for i := range t.slots {
-		if t.slots[i].Valid {
+	for i := range t.tags {
+		if t.tags[i]&1 != 0 {
 			n++
 		}
 	}
@@ -497,12 +557,18 @@ func (t *Table) CountValid() int {
 
 // Reset invalidates every entry and restores initial LRU order.
 func (t *Table) Reset() {
-	for i := range t.slots {
-		t.slots[i] = Entry{}
-	}
-	for row := 0; row < t.cfg.Rows; row++ {
-		for w := 0; w < t.cfg.Ways; w++ {
-			t.order[row*t.cfg.Ways+w] = uint8(w)
+	if t.ref != nil {
+		t.ref.reset(t.cfg)
+	} else {
+		for i := range t.tags {
+			t.tags[i] = 0
+			t.targets[i] = 0
+		}
+		for i := range t.meta {
+			t.meta[i] = 0
+		}
+		for row := range t.lru {
+			t.lru[row] = t.initLRU
 		}
 	}
 	t.met = metrics{}
@@ -511,11 +577,14 @@ func (t *Table) Reset() {
 // checkLRUInvariant verifies that each row's recency order is a
 // permutation of its ways. Exposed for tests via export_test.go.
 func (t *Table) checkLRUInvariant() error {
+	if t.ref != nil {
+		return t.ref.checkLRUInvariant(t.cfg)
+	}
 	for row := 0; row < t.cfg.Rows; row++ {
+		word := t.lru[row]
 		var seen uint64
-		base := row * t.cfg.Ways
 		for k := 0; k < t.cfg.Ways; k++ {
-			w := t.order[base+k]
+			w := word >> (4 * uint(k)) & 0xF
 			if int(w) >= t.cfg.Ways {
 				return fmt.Errorf("btb %s row %d: rank %d holds invalid way %d", t.cfg.Name, row, k, w)
 			}
@@ -523,6 +592,10 @@ func (t *Table) checkLRUInvariant() error {
 				return fmt.Errorf("btb %s row %d: way %d appears twice in LRU order", t.cfg.Name, row, w)
 			}
 			seen |= 1 << w
+		}
+		if t.cfg.Ways < MaxWays && word>>(4*uint(t.cfg.Ways)) != 0 {
+			return fmt.Errorf("btb %s row %d: LRU word %#x has bits above rank %d",
+				t.cfg.Name, row, word, t.cfg.Ways-1)
 		}
 	}
 	return nil

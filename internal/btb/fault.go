@@ -7,8 +7,8 @@ import (
 
 // SetInjector attaches (or, with nil, detaches) a fault injector. With an
 // injector attached, every read of a valid entry on the lookup paths
-// (LookupLine, find) may be struck by a soft error per the injector's
-// arrival schedule.
+// (LookupLine, Find/Contains/Update) may be struck by a soft error per
+// the injector's arrival schedule.
 func (t *Table) SetInjector(j *fault.Injector) { t.inj = j }
 
 // Injector returns the attached injector (nil when faults are off).
@@ -22,6 +22,15 @@ func (t *Table) Injector() *fault.Injector { return t.inj }
 // could fabricate aliases that no hardware fault can produce (two tags
 // cannot collide inside one row) and would break the hierarchy's
 // structural invariants.
+//
+// The domain is defined over the logical payload, not a layout's
+// physical words, so identical injector seeds corrupt identically in
+// both storage layouts: bit b maps to a target-lane bit in the packed
+// layout and to Entry.Target in the struct layout, and so on. The
+// validBit case clears the whole entry in both layouts (all-zero is the
+// canonical invalid state; leaving residue in the dead slot would be
+// unobservable to predictions but would make the layouts' State
+// snapshots diverge).
 const (
 	targetBits   = 64             // Entry.Target, bits 0..63
 	dirBit0      = targetBits     // Entry.Dir, 2-bit bimodal counter
@@ -36,7 +45,7 @@ const (
 // fault, if the current read is the one it lands on. Parity protection
 // detects the upset and recovers by invalidation (the way becomes LRU,
 // and semi-exclusivity lets first-level entries refetch from BTB2);
-// unprotected arrays keep serving the flipped entry.
+// unprotected arrays keep serving the flipped entry. Packed layout.
 //
 //zbp:hotpath
 func (t *Table) faultCheck(row, w int) {
@@ -44,10 +53,51 @@ func (t *Table) faultCheck(row, w int) {
 	if !ok {
 		return
 	}
-	e := &t.slots[row*t.cfg.Ways+w]
+	i := row*t.cfg.Ways + w
+	if t.inj.Parity() {
+		t.clearSlot(i)
+		t.demoteWay(row, w)
+		t.inj.NoteRecovered()
+		return
+	}
+	t.corruptSlot(i, bits)
+	t.inj.NoteSilent()
+}
+
+// corruptSlot flips one uniformly chosen payload bit of packed slot i —
+// the word-level twin of corruptEntry.
+//
+//zbp:hotpath
+func (t *Table) corruptSlot(i int, bits uint64) {
+	b := bits % payloadWidth
+	switch {
+	case b < dirBit0:
+		t.targets[i] ^= 1 << b
+	case b < usePHTBit:
+		t.xorMetaField(i, 1<<(metaDirShift+(b-dirBit0))) // stays within the 2-bit counter range
+	case b == usePHTBit:
+		t.xorMetaField(i, 1<<metaUsePHTBit)
+	case b == useCTBBit:
+		t.xorMetaField(i, 1<<metaUseCTBBit)
+	case b < validBit:
+		t.xorMetaField(i, 1<<(metaLenShift+(b-lengthBit0)))
+	default:
+		t.clearSlot(i) // tag/valid upset: entry is lost
+	}
+}
+
+// refFaultCheck is faultCheck for the struct layout.
+//
+//zbp:hotpath
+func (t *Table) refFaultCheck(row, w int) {
+	bits, ok := t.inj.Strike()
+	if !ok {
+		return
+	}
+	e := &t.ref.slots[row*t.cfg.Ways+w]
 	if t.inj.Parity() {
 		*e = Entry{}
-		t.demoteWay(row, w)
+		t.refDemoteWay(row, w)
 		t.inj.NoteRecovered()
 		return
 	}
@@ -72,6 +122,6 @@ func corruptEntry(e *Entry, bits uint64) {
 	case b < validBit:
 		e.Length ^= 1 << (b - lengthBit0)
 	default:
-		e.Valid = false
+		*e = Entry{} // tag/valid upset: entry is lost (match packed clearSlot)
 	}
 }

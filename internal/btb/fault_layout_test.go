@@ -1,0 +1,111 @@
+package btb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bulkpreload/internal/fault"
+	"bulkpreload/internal/zaddr"
+)
+
+// TestFaultParityInvalidatesPackedWord pins the parity contract on the
+// packed layout: a detected upset in a packed tag/state word clears
+// every lane of the slot, demotes the way to LRU, and counts a
+// recovery — byte-for-byte the behavior of the struct layout under the
+// same injector seed.
+func TestFaultParityInvalidatesPackedWord(t *testing.T) {
+	cfg := Config{Name: "par", Rows: 16, Ways: 2, IndexHi: 55, IndexLo: 58}
+	refCfg := cfg
+	refCfg.StructLayout = true
+	packed, ref := New(cfg), New(refCfg)
+	// A rate of 1e6 per million reads arms a strike on (essentially)
+	// every read, so the very first lookup is hit deterministically.
+	packed.SetInjector(fault.NewInjector("btb", 1e6, fault.Parity, 42, false))
+	ref.SetInjector(fault.NewInjector("btb", 1e6, fault.Parity, 42, false))
+
+	e := Entry{Addr: 0x4010, Target: 0x8888, Dir: 3, UsePHT: true, Length: 6}
+	packed.Insert(e)
+	ref.Insert(e)
+
+	var hits []Hit
+	if hits = packed.LookupLine(e.Addr, hits[:0]); len(hits) != 0 {
+		t.Fatalf("packed: parity strike should have dropped the entry, got %d hits", len(hits))
+	}
+	if hits = ref.LookupLine(e.Addr, hits[:0]); len(hits) != 0 {
+		t.Fatalf("struct: parity strike should have dropped the entry, got %d hits", len(hits))
+	}
+	if got := packed.Injector().Stats(); got.Recovered != 1 {
+		t.Fatalf("packed: recovered = %d, want 1", got.Recovered)
+	}
+	if pS, rS := packed.Injector().Stats(), ref.Injector().Stats(); pS != rS {
+		t.Fatalf("fault stats diverged: packed %+v vs struct %+v", pS, rS)
+	}
+	// The slot must be canonically empty in every lane, not just
+	// invalid: all-zero words and the way at LRU.
+	row := packed.RowFor(e.Addr)
+	i := row * cfg.Ways
+	for w := 0; w < cfg.Ways; w++ {
+		if packed.tags[i+w] != 0 || packed.targets[i+w] != 0 || packed.metaField(i+w) != 0 {
+			t.Fatalf("packed slot %d holds residue after parity recovery", i+w)
+		}
+	}
+	if !reflect.DeepEqual(packed.State(), ref.State()) {
+		t.Fatal("State diverged after parity recovery")
+	}
+	if packed.CountValid() != 0 {
+		t.Fatalf("packed CountValid = %d after recovery", packed.CountValid())
+	}
+}
+
+// TestFaultStructVsPackedModel drives both layouts with identically
+// seeded injectors through a randomized workload, under both protection
+// models, and demands identical silent corruptions, recoveries, Stats,
+// and State — the packed flip of a target/dir/flag/length/valid bit
+// must land on exactly the logical bit the struct layout flips.
+func TestFaultStructVsPackedModel(t *testing.T) {
+	cfg := Config{Name: "flt", Rows: 16, Ways: 4, IndexHi: 55, IndexLo: 58}
+	for _, prot := range []fault.Protection{fault.Unprotected, fault.Parity} {
+		refCfg := cfg
+		refCfg.StructLayout = true
+		packed, ref := New(cfg), New(refCfg)
+		packed.SetInjector(fault.NewInjector("btb", 5000, prot, 0xDEAD, false))
+		ref.SetInjector(fault.NewInjector("btb", 5000, prot, 0xDEAD, false))
+		rng := rand.New(rand.NewSource(77))
+		var hitsP, hitsR []Hit
+		for op := 0; op < 30000; op++ {
+			a := zaddr.Addr(rng.Intn(1<<11)) &^ 1
+			switch rng.Intn(4) {
+			case 0:
+				e := Entry{Addr: a, Target: zaddr.Addr(rng.Uint64()), Dir: 2, Length: uint8(rng.Intn(8))}
+				vP, evP := packed.Insert(e)
+				vR, evR := ref.Insert(e)
+				if vP != vR || evP != evR {
+					t.Fatalf("prot %v op %d: Insert diverged", prot, op)
+				}
+			case 1, 2:
+				hitsP = packed.LookupLine(a, hitsP[:0])
+				hitsR = ref.LookupLine(a, hitsR[:0])
+				if !reflect.DeepEqual(hitsP, hitsR) {
+					t.Fatalf("prot %v op %d: LookupLine diverged under faults:\npacked %+v\nstruct %+v",
+						prot, op, hitsP, hitsR)
+				}
+			case 3:
+				eP, okP := packed.Find(a)
+				eR, okR := ref.Find(a)
+				if eP != eR || okP != okR {
+					t.Fatalf("prot %v op %d: Find diverged under faults", prot, op)
+				}
+			}
+		}
+		if pS, rS := packed.Injector().Stats(), ref.Injector().Stats(); pS != rS {
+			t.Fatalf("prot %v: fault stats diverged: %+v vs %+v", prot, pS, rS)
+		}
+		if pS, rS := packed.Stats(), ref.Stats(); pS != rS {
+			t.Fatalf("prot %v: table stats diverged: %+v vs %+v", prot, pS, rS)
+		}
+		if !reflect.DeepEqual(packed.State(), ref.State()) {
+			t.Fatalf("prot %v: State diverged under identical fault seeds", prot)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package btb
+
+import (
+	"testing"
+
+	"bulkpreload/internal/zaddr"
+)
+
+// FuzzPackedRow splats raw fuzzer-chosen words into one packed row's
+// lanes — tag words, target words, the shared meta word, even the LRU
+// word — then drives every read path over it. Decode must never panic,
+// and a slot whose valid bit is clear must never produce a hit no
+// matter what garbage its other lanes hold (the probe key always
+// carries valid=1 and every compare mask includes the valid bit).
+func FuzzPackedRow(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0x3210), uint64(0x1234))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(0xFFFE), uint64(2), uint64(0x8000_0000_0000_0001),
+		uint64(42), uint64(7), uint64(0xF00F), uint64(0xBEEF))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, targ, meta, lruWord, probe uint64) {
+		cfg := Config{Name: "fuzz", Rows: 16, Ways: 4, IndexHi: 55, IndexLo: 58, TagBits: 3}
+		tbl := New(cfg)
+		words := [4]uint64{w0, w1, w2, w3}
+		copy(tbl.tags[:4], words[:])
+		for i := range words {
+			tbl.targets[i] = targ ^ words[i]
+		}
+		tbl.meta[0] = meta
+		tbl.lru[0] = lruWord
+
+		probes := []zaddr.Addr{
+			zaddr.Addr(probe),
+			zaddr.SetBits(zaddr.Addr(probe), cfg.IndexHi, cfg.IndexLo, 0), // force row 0
+			0,
+		}
+		var hits []Hit
+		for _, p := range probes {
+			hits = tbl.LookupLine(p, hits[:0])
+			for _, h := range hits {
+				if !h.Entry.Valid {
+					t.Fatalf("LookupLine(%#x) returned an invalid entry: %+v", uint64(p), h)
+				}
+				if tbl.tags[tbl.RowFor(p)*cfg.Ways+h.Way]&1 == 0 {
+					t.Fatalf("LookupLine(%#x) hit way %d whose valid bit is clear", uint64(p), h.Way)
+				}
+			}
+			if e, ok := tbl.Find(p); ok && !e.Valid {
+				t.Fatalf("Find(%#x) returned an invalid entry", uint64(p))
+			}
+			tbl.Contains(p)
+			tbl.Touch(p)
+			tbl.Demote(p)
+			tbl.Invalidate(p)
+			tbl.MRUWay(p)
+			tbl.LRUEntry(p)
+		}
+		tbl.CountValid()
+		tbl.Entries()
+		st := tbl.State()
+		for i, s := range st.Slots[:4] {
+			if s.Valid != (tbl.tags[i]&1 != 0) {
+				t.Fatalf("slot %d: State valid %v disagrees with tag word %#x", i, s.Valid, tbl.tags[i])
+			}
+		}
+		// Restoring the snapshot may legitimately fail (the fuzzed LRU
+		// word need not be a permutation); it must not panic, and when
+		// it succeeds the re-snapshot must be identical on the slots.
+		fresh := New(cfg)
+		if err := fresh.RestoreState(st); err == nil {
+			st2 := fresh.State()
+			for i := range st.Slots {
+				if st.Slots[i] != st2.Slots[i] {
+					t.Fatalf("slot %d changed across restore: %+v vs %+v", i, st.Slots[i], st2.Slots[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package btb
+
+import (
+	"bulkpreload/internal/bht"
+	"bulkpreload/internal/zaddr"
+)
+
+// Packed word formats (little-endian bit positions within each lane
+// word; docs/PERFORMANCE.md has the full diagrams).
+//
+// Tag lane, one word per slot:
+//
+//	bit  0              valid
+//	bits 1 .. offBits   in-line byte offset (address bits IndexLo+1..63)
+//	bits tagShift ..    full tag (address bits 0..IndexHi-1)
+//
+// With IndexHi + IndexLo spanning the whole address, the three fields
+// always fit: 1 + (63-IndexLo) + IndexHi = 65 - (index width) <= 64.
+// The full tag is stored even under TagBits truncation so the branch
+// address reconstructs exactly; truncation applies at compare time via
+// lineMask/entryMask, which keep only the low TagBits bits of the tag
+// field — precisely the bits the struct layout's tagOf compared. An
+// invalid slot is all-zero in every lane, and every probe key carries
+// valid=1, so invalid slots can never match a masked compare.
+//
+// Target lane: the raw 64-bit target address, one word per slot.
+//
+// Meta lane: one 16-bit field per slot, four fields per word:
+//
+//	bits 0..1  dir (2-bit bimodal counter)
+//	bit  2     usePHT
+//	bit  3     useCTB
+//	bits 4..11 length
+//
+// LRU word, one per row: 4-bit way numbers indexed by recency rank,
+// rank 0 (bits 0..3) = MRU, rank Ways-1 = LRU. Promote/demote are a
+// masked shift of the ranks between the way's old and new position.
+const (
+	metaDirShift  = 0
+	metaUsePHTBit = 2
+	metaUseCTBBit = 3
+	metaLenShift  = 4
+	metaFieldBits = 16
+)
+
+// packKey builds the tag-lane word for address a: the value a resident
+// entry for a would store, and the probe key a lookup for a compares
+// rows against.
+//
+//zbp:hotpath
+func (t *Table) packKey(a zaddr.Addr) uint64 {
+	k := 1 | zaddr.OffsetWithin(a, t.lineBytes)<<1
+	if t.hiBits > 0 {
+		k |= zaddr.Bits(a, 0, t.cfg.IndexHi-1) << t.tagShift
+	}
+	return k
+}
+
+// packMeta builds the 16-bit meta field for e.
+//
+//zbp:hotpath
+func packMeta(e Entry) uint64 {
+	m := uint64(e.Dir)&3 | uint64(e.Length)<<metaLenShift
+	if e.UsePHT {
+		m |= 1 << metaUsePHTBit
+	}
+	if e.UseCTB {
+		m |= 1 << metaUseCTBBit
+	}
+	return m
+}
+
+// unpackEntry decodes slot (row, w) into *e. The branch address is
+// reconstructed from the stored tag + the row index + the stored
+// offset, which is exact: the tag field keeps all bits above the index
+// even when compares truncate to TagBits.
+//
+//zbp:hotpath
+func (t *Table) unpackEntry(row, w int, e *Entry) {
+	i := row*t.cfg.Ways + w
+	k := t.tags[i]
+	if k&1 == 0 {
+		*e = Entry{}
+		return
+	}
+	addr := uint64(row)<<t.offBits | k>>1&((1<<t.offBits)-1)
+	if t.hiBits > 0 {
+		addr |= k >> t.tagShift << (64 - t.hiBits)
+	}
+	m := t.metaField(i)
+	e.Valid = true
+	e.Addr = zaddr.Addr(addr)
+	e.Target = zaddr.Addr(t.targets[i])
+	e.Dir = bht.Bimodal(m >> metaDirShift & 3)
+	e.UsePHT = m&(1<<metaUsePHTBit) != 0
+	e.UseCTB = m&(1<<metaUseCTBBit) != 0
+	e.Length = uint8(m >> metaLenShift)
+}
+
+// writeSlot stores e into slot i (unconditionally valid, like the
+// hardware array write it models).
+//
+//zbp:hotpath
+func (t *Table) writeSlot(i int, e Entry) {
+	t.tags[i] = t.packKey(e.Addr)
+	t.targets[i] = uint64(e.Target)
+	t.setMetaField(i, packMeta(e))
+}
+
+// clearSlot zeroes every lane of slot i; all-zero is the canonical
+// invalid state.
+//
+//zbp:hotpath
+func (t *Table) clearSlot(i int) {
+	t.tags[i] = 0
+	t.targets[i] = 0
+	t.setMetaField(i, 0)
+}
+
+// metaField returns slot i's 16-bit meta field.
+//
+//zbp:hotpath
+func (t *Table) metaField(i int) uint64 {
+	return t.meta[i>>2] >> (uint(i&3) * metaFieldBits) & 0xFFFF
+}
+
+// setMetaField overwrites slot i's 16-bit meta field with v.
+//
+//zbp:hotpath
+func (t *Table) setMetaField(i int, v uint64) {
+	sh := uint(i&3) * metaFieldBits
+	t.meta[i>>2] = t.meta[i>>2]&^(uint64(0xFFFF)<<sh) | v<<sh
+}
+
+// xorMetaField flips the given bits of slot i's meta field (the fault
+// injector's single-event-upset primitive).
+//
+//zbp:hotpath
+func (t *Table) xorMetaField(i int, bits uint64) {
+	t.meta[i>>2] ^= bits << (uint(i&3) * metaFieldBits)
+}
+
+// rankOf returns way w's recency rank in the LRU word. The word is a
+// permutation of the row's ways (checkLRUInvariant), so the scan always
+// terminates within Ways nibbles; the final rank is returned without a
+// compare to keep the loop bounded even on corrupt words.
+//
+//zbp:hotpath
+func rankOf(word uint64, w, ways int) uint {
+	for k := uint(0); k < uint(ways-1); k++ {
+		if int(word>>(4*k)&0xF) == w {
+			return k
+		}
+	}
+	return uint(ways - 1)
+}
+
+// promoteWay moves way w of row to recency rank 0 (MRU): the ranks
+// below w's old position shift up one nibble and w drops into rank 0.
+//
+//zbp:hotpath
+func (t *Table) promoteWay(row, w int) {
+	word := t.lru[row]
+	pos := rankOf(word, w, t.cfg.Ways)
+	keep := word >> (4 * (pos + 1)) << (4 * (pos + 1)) // ranks above pos
+	moved := (word & (1<<(4*pos) - 1)) << 4            // ranks 0..pos-1 -> 1..pos
+	t.lru[row] = keep | moved | uint64(w)
+}
+
+// demoteWay moves way w of row to recency rank Ways-1 (LRU): the ranks
+// above w's old position shift down one nibble and w lands in the last
+// rank.
+//
+//zbp:hotpath
+func (t *Table) demoteWay(row, w int) {
+	word := t.lru[row]
+	pos := rankOf(word, w, t.cfg.Ways)
+	keep := word & (1<<(4*pos) - 1)             // ranks below pos
+	moved := word >> (4 * (pos + 1)) << (4 * pos) // ranks pos+1.. -> pos..
+	t.lru[row] = keep | moved | uint64(w)<<(4*uint(t.cfg.Ways-1))
+}

@@ -1,0 +1,237 @@
+package btb
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bulkpreload/internal/bht"
+	"bulkpreload/internal/zaddr"
+)
+
+// packedGeometries are the row widths the paper ships and studies:
+// IndexLo 58/57/56 give 32/64/128-byte rows. Ways vary to cover the
+// paper's 4-way and 6-way tables plus an odd width.
+var packedGeometries = []Config{
+	{Name: "g32", Rows: 16, Ways: 2, IndexHi: 55, IndexLo: 58},
+	{Name: "g64", Rows: 16, Ways: 3, IndexHi: 54, IndexLo: 57},
+	{Name: "g128", Rows: 16, Ways: 6, IndexHi: 53, IndexLo: 56},
+}
+
+// TestPackedRoundTripExtremes drives every Entry field at its extremes
+// through the packed layout — install, Find, State, RestoreState — and
+// demands exact reconstruction, across all three row widths and both
+// tag policies (full and truncated).
+func TestPackedRoundTripExtremes(t *testing.T) {
+	dirs := []bht.Bimodal{bht.StrongNT, bht.WeakNT, bht.WeakT, bht.StrongT}
+	addrs := []zaddr.Addr{
+		0,                  // all-zero address
+		^zaddr.Addr(0) - 1, // every tag/offset bit set (2-byte aligned)
+		0x0001_0000_0000_4242,
+		0x7FFF_FFFF_FFFF_0006,
+	}
+	for _, geo := range packedGeometries {
+		for _, tagBits := range []uint{0, 4} {
+			cfg := geo
+			cfg.TagBits = tagBits
+			cfg.Name = fmt.Sprintf("%s/tag%d", geo.Name, tagBits)
+			tbl := New(cfg)
+			for _, a := range addrs {
+				for _, dir := range dirs {
+					for _, length := range []uint8{0, 1, 255} {
+						for flags := 0; flags < 4; flags++ {
+							e := Entry{
+								Addr:   a,
+								Target: ^zaddr.Addr(0),
+								Dir:    dir,
+								UsePHT: flags&1 != 0,
+								UseCTB: flags&2 != 0,
+								Length: length,
+							}
+							tbl.Reset()
+							if _, ev := tbl.Insert(e); ev {
+								t.Fatalf("%s: eviction from empty table", cfg.Name)
+							}
+							want := e
+							want.Valid = true
+							got, ok := tbl.Find(a)
+							if !ok || got != want {
+								t.Fatalf("%s: Find(%#x) = %+v, %v; want %+v", cfg.Name, uint64(a), got, ok, want)
+							}
+							st := tbl.State()
+							if err := tbl.RestoreState(st); err != nil {
+								t.Fatalf("%s: RestoreState: %v", cfg.Name, err)
+							}
+							if st2 := tbl.State(); !reflect.DeepEqual(st, st2) {
+								t.Fatalf("%s: State changed across restore round-trip", cfg.Name)
+							}
+							if got, ok := tbl.Find(a); !ok || got != want {
+								t.Fatalf("%s: post-restore Find(%#x) = %+v, %v", cfg.Name, uint64(a), got, ok)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// layoutPair is a packed table and its struct-layout twin, fed identical
+// operations.
+type layoutPair struct {
+	packed *Table
+	ref    *Table
+}
+
+func newLayoutPair(cfg Config) layoutPair {
+	p := cfg
+	p.StructLayout = false
+	r := cfg
+	r.StructLayout = true
+	return layoutPair{packed: New(p), ref: New(r)}
+}
+
+// randomEntry draws entries from a small address pool so rows collide,
+// tags alias (under truncation), and LRU churn is constant.
+func randomEntry(rng *rand.Rand, cfg Config) Entry {
+	// Row, in-line offset, and a handful of distinct tag values; keep
+	// addresses 2-byte aligned like real instruction addresses.
+	a := zaddr.SetBits(0, cfg.IndexHi, cfg.IndexLo, uint64(rng.Intn(cfg.Rows)))
+	a = zaddr.SetBits(a, cfg.IndexLo+1, 63, uint64(rng.Intn(cfg.LineBytes()))&^1)
+	if cfg.IndexHi > 0 {
+		a = zaddr.SetBits(a, 0, cfg.IndexHi-1, uint64(rng.Intn(6))*0x0101)
+	}
+	return Entry{
+		Addr:   a,
+		Target: zaddr.Addr(rng.Uint64()),
+		Dir:    bht.Bimodal(rng.Intn(4)),
+		UsePHT: rng.Intn(2) == 0,
+		UseCTB: rng.Intn(2) == 0,
+		Length: uint8(rng.Intn(256)),
+	}
+}
+
+// TestStructVsPackedModel drives long randomized Insert / InsertAtLRU /
+// Update / LookupLine / Find / Touch / Demote / Invalidate / accessor
+// sequences against both layouts and demands identical results at every
+// step: identical hits, identical eviction victims, identical recency
+// observations, and finally identical Stats and byte-identical State.
+func TestStructVsPackedModel(t *testing.T) {
+	for _, geo := range packedGeometries {
+		for _, tagBits := range []uint{0, 3} {
+			cfg := geo
+			cfg.TagBits = tagBits
+			t.Run(fmt.Sprintf("%s/tag%d", geo.Name, tagBits), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(0x9E3779B9 + tagBits + uint(len(geo.Name)))))
+				pair := newLayoutPair(cfg)
+				var hitsP, hitsR []Hit
+				for op := 0; op < 20000; op++ {
+					e := randomEntry(rng, cfg)
+					switch rng.Intn(10) {
+					case 0, 1, 2:
+						vP, evP := pair.packed.Insert(e)
+						vR, evR := pair.ref.Insert(e)
+						if vP != vR || evP != evR {
+							t.Fatalf("op %d: Insert(%+v) diverged: packed (%+v,%v) vs struct (%+v,%v)",
+								op, e, vP, evP, vR, evR)
+						}
+					case 3:
+						vP, evP := pair.packed.InsertAtLRU(e)
+						vR, evR := pair.ref.InsertAtLRU(e)
+						if vP != vR || evP != evR {
+							t.Fatalf("op %d: InsertAtLRU diverged: (%+v,%v) vs (%+v,%v)", op, vP, evP, vR, evR)
+						}
+					case 4:
+						if okP, okR := pair.packed.Update(e), pair.ref.Update(e); okP != okR {
+							t.Fatalf("op %d: Update diverged: %v vs %v", op, okP, okR)
+						}
+					case 5:
+						hitsP = pair.packed.LookupLine(e.Addr, hitsP[:0])
+						hitsR = pair.ref.LookupLine(e.Addr, hitsR[:0])
+						if !reflect.DeepEqual(hitsP, hitsR) {
+							t.Fatalf("op %d: LookupLine(%#x) diverged:\npacked %+v\nstruct %+v",
+								op, uint64(e.Addr), hitsP, hitsR)
+						}
+					case 6:
+						gP, okP := pair.packed.Find(e.Addr)
+						gR, okR := pair.ref.Find(e.Addr)
+						if gP != gR || okP != okR {
+							t.Fatalf("op %d: Find diverged: (%+v,%v) vs (%+v,%v)", op, gP, okP, gR, okR)
+						}
+					case 7:
+						if okP, okR := pair.packed.Touch(e.Addr), pair.ref.Touch(e.Addr); okP != okR {
+							t.Fatalf("op %d: Touch diverged", op)
+						}
+					case 8:
+						if okP, okR := pair.packed.Demote(e.Addr), pair.ref.Demote(e.Addr); okP != okR {
+							t.Fatalf("op %d: Demote diverged", op)
+						}
+					case 9:
+						if okP, okR := pair.packed.Invalidate(e.Addr), pair.ref.Invalidate(e.Addr); okP != okR {
+							t.Fatalf("op %d: Invalidate diverged", op)
+						}
+					}
+					if op%97 == 0 {
+						if mP, mR := pair.packed.MRUWay(e.Addr), pair.ref.MRUWay(e.Addr); mP != mR {
+							t.Fatalf("op %d: MRUWay diverged: %d vs %d", op, mP, mR)
+						}
+						if lP, lR := pair.packed.LRUEntry(e.Addr), pair.ref.LRUEntry(e.Addr); lP != lR {
+							t.Fatalf("op %d: LRUEntry diverged: %+v vs %+v", op, lP, lR)
+						}
+						if cP, cR := pair.packed.Contains(e.Addr), pair.ref.Contains(e.Addr); cP != cR {
+							t.Fatalf("op %d: Contains diverged", op)
+						}
+					}
+				}
+				if sP, sR := pair.packed.Stats(), pair.ref.Stats(); sP != sR {
+					t.Fatalf("Stats diverged: packed %+v vs struct %+v", sP, sR)
+				}
+				if cP, cR := pair.packed.CountValid(), pair.ref.CountValid(); cP != cR {
+					t.Fatalf("CountValid diverged: %d vs %d", cP, cR)
+				}
+				stP, stR := pair.packed.State(), pair.ref.State()
+				if !reflect.DeepEqual(stP, stR) {
+					t.Fatal("State diverged between layouts")
+				}
+				if err := pair.packed.CheckLRUInvariant(); err != nil {
+					t.Fatalf("packed LRU invariant: %v", err)
+				}
+				if !reflect.DeepEqual(pair.packed.Entries(), pair.ref.Entries()) {
+					t.Fatal("Entries diverged between layouts")
+				}
+				// Cross-layout checkpoint restore: packed state into the
+				// struct table and vice versa must both take cleanly.
+				if err := pair.ref.RestoreState(stP); err != nil {
+					t.Fatalf("restoring packed state into struct layout: %v", err)
+				}
+				if err := pair.packed.RestoreState(stR); err != nil {
+					t.Fatalf("restoring struct state into packed layout: %v", err)
+				}
+				if !reflect.DeepEqual(pair.packed.State(), pair.ref.State()) {
+					t.Fatal("State diverged after cross-layout restore")
+				}
+			})
+		}
+	}
+}
+
+// TestPackedRestoreRejectsMisplacedEntry pins the packed layout's
+// pre-pack placement check: a valid entry parked in a row its address
+// does not index must be rejected, not silently re-addressed (the
+// packed tag word would otherwise reconstruct a different address from
+// the row position).
+func TestPackedRestoreRejectsMisplacedEntry(t *testing.T) {
+	cfg := Config{Name: "mis", Rows: 16, Ways: 2, IndexHi: 55, IndexLo: 58}
+	tbl := New(cfg)
+	st := tbl.State()
+	bad := Entry{Valid: true, Addr: zaddr.SetBits(0, cfg.IndexHi, cfg.IndexLo, 5), Length: 4}
+	st.Slots[0] = bad // row 0, but the address indexes row 5
+	if err := tbl.RestoreState(st); err == nil {
+		t.Fatal("RestoreState accepted a misplaced entry")
+	}
+	ref := New(Config{Name: "mis", Rows: 16, Ways: 2, IndexHi: 55, IndexLo: 58, StructLayout: true})
+	if err := ref.RestoreState(st); err == nil {
+		t.Fatal("struct-layout RestoreState accepted a misplaced entry")
+	}
+}

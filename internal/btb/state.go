@@ -6,6 +6,11 @@ import "fmt"
 // every slot plus the per-row recency order. Activity counters and the
 // fault injector schedule are not part of it — a restored table resumes
 // with fresh counters, the way a checkpoint-resumed run should.
+//
+// The format is layout-independent: both storage backends serialize to
+// the same Entry slices, so ZBPC checkpoints written under either
+// layout restore into either layout (the layout differential gate
+// round-trips checkpoints across layouts to prove it).
 type State struct {
 	Slots []Entry
 	Order []uint8
@@ -13,21 +18,73 @@ type State struct {
 
 // State returns a deep copy of the table's architectural state.
 func (t *Table) State() State {
-	return State{
-		Slots: append([]Entry(nil), t.slots...),
-		Order: append([]uint8(nil), t.order...),
+	if t.ref != nil {
+		return State{
+			Slots: append([]Entry(nil), t.ref.slots...),
+			Order: append([]uint8(nil), t.ref.order...),
+		}
 	}
+	s := State{
+		Slots: make([]Entry, len(t.tags)),
+		Order: make([]uint8, len(t.tags)),
+	}
+	for i := range t.tags {
+		t.unpackEntry(i/t.cfg.Ways, i%t.cfg.Ways, &s.Slots[i])
+	}
+	for row := 0; row < t.cfg.Rows; row++ {
+		word := t.lru[row]
+		for k := 0; k < t.cfg.Ways; k++ {
+			s.Order[row*t.cfg.Ways+k] = uint8(word >> (4 * uint(k)) & 0xF)
+		}
+	}
+	return s
 }
 
 // RestoreState overwrites the table's contents with s, which must come
 // from a table of identical geometry.
 func (t *Table) RestoreState(s State) error {
-	if len(s.Slots) != len(t.slots) || len(s.Order) != len(t.order) {
+	n := t.cfg.Rows * t.cfg.Ways
+	if len(s.Slots) != n || len(s.Order) != n {
 		return fmt.Errorf("btb %s: state geometry mismatch: %d slots/%d order, table has %d/%d",
-			t.cfg.Name, len(s.Slots), len(s.Order), len(t.slots), len(t.order))
+			t.cfg.Name, len(s.Slots), len(s.Order), n, n)
 	}
-	copy(t.slots, s.Slots)
-	copy(t.order, s.Order)
+	if t.ref != nil {
+		copy(t.ref.slots, s.Slots)
+		copy(t.ref.order, s.Order)
+	} else {
+		// Placement must hold before packing: the packed tag word drops
+		// the index bits (the row position carries them), so a misplaced
+		// entry would silently re-address itself instead of failing the
+		// post-restore check the struct layout relies on.
+		for i := range s.Slots {
+			if e := &s.Slots[i]; e.Valid && t.RowFor(e.Addr) != i/t.cfg.Ways {
+				return fmt.Errorf("btb %s: restored state is corrupt: entry %#x stored in row %d but indexes row %d",
+					t.cfg.Name, uint64(e.Addr), i/t.cfg.Ways, t.RowFor(e.Addr))
+			}
+		}
+		for i := range s.Slots {
+			if s.Slots[i].Valid {
+				t.writeSlot(i, s.Slots[i])
+			} else {
+				t.clearSlot(i)
+			}
+		}
+		for row := 0; row < t.cfg.Rows; row++ {
+			var word uint64
+			for k := 0; k < t.cfg.Ways; k++ {
+				w := s.Order[row*t.cfg.Ways+k]
+				if int(w) >= t.cfg.Ways {
+					// The struct layout's invariant check rejects these
+					// too; checked here because the 4-bit rank nibble
+					// would otherwise truncate the evidence.
+					return fmt.Errorf("btb %s: restored state is corrupt: btb %s row %d: rank %d holds invalid way %d",
+						t.cfg.Name, t.cfg.Name, row, k, w)
+				}
+				word |= uint64(w) << (4 * uint(k))
+			}
+			t.lru[row] = word
+		}
+	}
 	if err := t.checkLRUInvariant(); err != nil {
 		return fmt.Errorf("btb %s: restored state is corrupt: %w", t.cfg.Name, err)
 	}
@@ -40,12 +97,18 @@ func (t *Table) RestoreState(s State) error {
 // CheckPlacement verifies that every valid entry is stored in the row
 // its address indexes to — the structural invariant a hardware array
 // cannot violate (the index selects the row) and that fault injection
-// must therefore never break.
+// must therefore never break. The packed layout satisfies it by
+// construction (the row position is part of the stored address), so
+// the walk doubles as a decode self-check there.
 func (t *Table) CheckPlacement() error {
+	var e Entry
 	for row := 0; row < t.cfg.Rows; row++ {
-		base := row * t.cfg.Ways
 		for w := 0; w < t.cfg.Ways; w++ {
-			e := &t.slots[base+w]
+			if t.ref != nil {
+				e = t.ref.slots[row*t.cfg.Ways+w]
+			} else {
+				t.unpackEntry(row, w, &e)
+			}
 			if e.Valid && t.RowFor(e.Addr) != row {
 				return fmt.Errorf("btb %s: entry %#x stored in row %d but indexes row %d",
 					t.cfg.Name, uint64(e.Addr), row, t.RowFor(e.Addr))

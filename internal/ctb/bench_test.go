@@ -1,4 +1,4 @@
-package pht
+package ctb
 
 import (
 	"testing"
@@ -7,35 +7,22 @@ import (
 	"bulkpreload/internal/zaddr"
 )
 
-func BenchmarkLookupUpdate(b *testing.B) {
-	p := New(DefaultEntries)
-	var h history.History
-	for i := 0; i < 64; i++ {
-		h.RecordPrediction(zaddr.Addr(0x1000+8*i), i%2 == 0)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a := zaddr.Addr(0x4000 + (i%512)*8)
-		p.Lookup(&h, a)
-		p.Update(&h, a, i%3 != 0)
-	}
-}
-
-// benchLayoutTable builds a warmed table in the requested layout with a
+// benchTable builds a warmed table in the requested layout with a
 // recorded history the lookups index through.
-func benchLayoutTable(structLayout bool) (*Table, *history.History) {
+func benchTable(structLayout bool) (*Table, *history.History) {
 	t := NewLayout(DefaultEntries, structLayout)
 	var h history.History
 	for i := 0; i < 64; i++ {
-		h.RecordPrediction(zaddr.Addr(0x2000+i*6), i%2 == 0)
+		h.RecordPrediction(zaddr.Addr(0x2000+i*6), true)
 	}
 	for i := 0; i < 4096; i++ {
-		t.Update(&h, zaddr.Addr(0x4000+i*12), i%2 == 0)
+		a := zaddr.Addr(0x4000 + i*12)
+		t.Update(&h, a, a+64)
 	}
 	return t, &h
 }
 
-// BenchmarkLookupLayout compares the PHT lookup hot path across the
+// BenchmarkLookupLayout compares the CTB lookup hot path across the
 // packed bit-field layout and the struct-layout oracle.
 func BenchmarkLookupLayout(b *testing.B) {
 	for _, l := range []struct {
@@ -43,7 +30,7 @@ func BenchmarkLookupLayout(b *testing.B) {
 		structLayout bool
 	}{{"packed", false}, {"struct", true}} {
 		b.Run(l.name, func(b *testing.B) {
-			t, h := benchLayoutTable(l.structLayout)
+			t, h := benchTable(l.structLayout)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				t.Lookup(h, zaddr.Addr(0x4000+(i%4096)*12))
@@ -52,7 +39,7 @@ func BenchmarkLookupLayout(b *testing.B) {
 	}
 }
 
-// BenchmarkUpdateLayout compares the PHT install/update path across
+// BenchmarkUpdateLayout compares the CTB install/update path across
 // layouts.
 func BenchmarkUpdateLayout(b *testing.B) {
 	for _, l := range []struct {
@@ -60,10 +47,11 @@ func BenchmarkUpdateLayout(b *testing.B) {
 		structLayout bool
 	}{{"packed", false}, {"struct", true}} {
 		b.Run(l.name, func(b *testing.B) {
-			t, h := benchLayoutTable(l.structLayout)
+			t, h := benchTable(l.structLayout)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				t.Update(h, zaddr.Addr(0x4000+(i%4096)*12), i%2 == 0)
+				a := zaddr.Addr(0x4000 + (i%4096)*12)
+				t.Update(h, a, a+64)
 			}
 		})
 	}

@@ -3,6 +3,11 @@
 // instruction addresses of the 12 previous taken branches. It supplies
 // targets for branches the BTB marks UseCTB (branches exhibiting multiple
 // targets, such as returns and virtual dispatch).
+//
+// The default storage is two packed lanes: a raw uint64 target word per
+// entry plus an 11-bit valid|tag field stored 16 bits wide, four per
+// uint64 word. The original entry-struct slice survives behind the
+// structLayout flag of NewLayout as the equivalence oracle.
 package ctb
 
 import (
@@ -19,6 +24,14 @@ const DefaultEntries = 2048
 
 // tagBits is the number of branch-address bits stored as tag per entry.
 const tagBits = 10
+
+// Packed 16-bit tag field layout (four fields per uint64 word): bit 0
+// is valid, bits 1..10 the tag. Targets live in their own word lane.
+const (
+	fieldValidBit = 0
+	fieldTagShift = 1
+	fieldBits     = 16
+)
 
 type entry struct {
 	valid  bool
@@ -45,7 +58,10 @@ type metrics struct {
 
 // Table is the changing target buffer.
 type Table struct {
-	entries []entry
+	n       int      // entry count
+	tags    []uint64 // packed valid|tag fields, four entries per word
+	targets []uint64 // raw target addresses, one word per entry
+	ref     []entry  // struct-layout storage; nil when packed
 	inj     *fault.Injector // soft-error injection on Lookup; nil = off
 	met     metrics
 }
@@ -56,16 +72,51 @@ func (t *Table) SetInjector(j *fault.Injector) { t.inj = j }
 // Injector returns the attached injector (nil when faults are off).
 func (t *Table) Injector() *fault.Injector { return t.inj }
 
-// New builds a CTB with the given entry count (power of two).
-func New(entries int) *Table {
+// New builds a CTB with the given entry count (power of two), using the
+// packed layout.
+func New(entries int) *Table { return NewLayout(entries, false) }
+
+// NewLayout builds a CTB choosing the storage backend: packed lanes
+// (the default) or the retained entry-struct oracle layout. The two are
+// observationally equivalent; see the layout equivalence tests.
+func NewLayout(entries int, structLayout bool) *Table {
 	if entries <= 0 || entries&(entries-1) != 0 {
 		panic("ctb: entries must be a positive power of two")
 	}
-	return &Table{entries: make([]entry, entries)}
+	if structLayout {
+		return &Table{n: entries, ref: make([]entry, entries)}
+	}
+	return &Table{
+		n:       entries,
+		tags:    make([]uint64, (entries+3)/4),
+		targets: make([]uint64, entries),
+	}
 }
 
 // Entries returns the table size.
-func (t *Table) Entries() int { return len(t.entries) }
+func (t *Table) Entries() int { return t.n }
+
+// field returns entry i's packed valid|tag field.
+//
+//zbp:hotpath
+func (t *Table) field(i int) uint64 {
+	return t.tags[i>>2] >> (uint(i&3) * fieldBits) & 0xFFFF
+}
+
+// setField overwrites entry i's packed valid|tag field with v.
+//
+//zbp:hotpath
+func (t *Table) setField(i int, v uint64) {
+	sh := uint(i&3) * fieldBits
+	t.tags[i>>2] = t.tags[i>>2]&^(uint64(0xFFFF)<<sh) | v<<sh
+}
+
+// packField builds the packed valid|tag field for a valid entry.
+//
+//zbp:hotpath
+func packField(tag uint16) uint64 {
+	return 1<<fieldValidBit | uint64(tag&((1<<tagBits)-1))<<fieldTagShift
+}
 
 // Stats returns a view of the counters.
 func (t *Table) Stats() Stats {
@@ -91,8 +142,16 @@ func (t *Table) RegisterMetrics(r *obs.Registry, prefix string) {
 // CountValid returns the number of valid entries.
 func (t *Table) CountValid() int {
 	n := 0
-	for i := range t.entries {
-		if t.entries[i].valid {
+	if t.ref != nil {
+		for i := range t.ref {
+			if t.ref[i].valid {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < t.n; i++ {
+		if t.field(i)&(1<<fieldValidBit) != 0 {
 			n++
 		}
 	}
@@ -110,25 +169,62 @@ func tagOf(a zaddr.Addr) uint16 {
 //zbp:hotpath
 func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (target zaddr.Addr, ok bool) {
 	t.met.lookups.Inc()
-	e := &t.entries[h.CTBIndex(addr, len(t.entries))]
-	if t.inj != nil && e.valid {
-		t.faultCheck(e)
+	i := h.CTBIndex(addr, t.n)
+	if t.ref != nil {
+		e := &t.ref[i]
+		if t.inj != nil && e.valid {
+			t.refFaultCheck(e)
+		}
+		if !e.valid || e.tag != tagOf(addr) {
+			return 0, false
+		}
+		t.met.hits.Inc()
+		return e.target, true
 	}
-	if !e.valid || e.tag != tagOf(addr) {
+	f := t.field(i)
+	if t.inj != nil && f&(1<<fieldValidBit) != 0 {
+		t.faultCheck(i)
+		f = t.field(i)
+	}
+	if f&(1<<fieldValidBit) == 0 || uint16(f>>fieldTagShift)&((1<<tagBits)-1) != tagOf(addr) {
 		return 0, false
 	}
 	t.met.hits.Inc()
-	return e.target, true
+	return zaddr.Addr(t.targets[i]), true
 }
 
 // faultCheck strikes the entry being read, if this read is the one the
 // injector's schedule lands on. The flip domain is the stored payload:
-// the 64-bit target and 10 tag bits. Parity recovers by invalidation;
-// unprotected flips persist (a flipped target silently misdirects every
-// multi-target branch that hits this entry).
+// the 64-bit target and 10 tag bits — identical positions in both
+// layouts, so identical seeds corrupt identically. Parity recovers by
+// invalidation; unprotected flips persist (a flipped target silently
+// misdirects every multi-target branch that hits this entry). Packed
+// layout.
 //
 //zbp:hotpath
-func (t *Table) faultCheck(e *entry) {
+func (t *Table) faultCheck(i int) {
+	bits, ok := t.inj.Strike()
+	if !ok {
+		return
+	}
+	if t.inj.Parity() {
+		t.setField(i, 0)
+		t.targets[i] = 0
+		t.inj.NoteRecovered()
+		return
+	}
+	if b := bits % (64 + tagBits); b < 64 {
+		t.targets[i] ^= 1 << b
+	} else {
+		t.setField(i, t.field(i)^1<<(fieldTagShift+(b-64)))
+	}
+	t.inj.NoteSilent()
+}
+
+// refFaultCheck is faultCheck for the struct layout.
+//
+//zbp:hotpath
+func (t *Table) refFaultCheck(e *entry) {
 	bits, ok := t.inj.Strike()
 	if !ok {
 		return
@@ -150,21 +246,43 @@ func (t *Table) faultCheck(e *entry) {
 //
 //zbp:hotpath
 func (t *Table) Update(h *history.History, addr, target zaddr.Addr) {
-	e := &t.entries[h.CTBIndex(addr, len(t.entries))]
+	i := h.CTBIndex(addr, t.n)
 	tag := tagOf(addr)
-	if e.valid && e.tag == tag {
-		e.target = target
+	if t.ref != nil {
+		e := &t.ref[i]
+		if e.valid && e.tag == tag {
+			e.target = target
+			t.met.updates.Inc()
+			return
+		}
+		*e = entry{valid: true, tag: tag, target: target}
+		t.met.installs.Inc()
+		return
+	}
+	f := t.field(i)
+	if f&(1<<fieldValidBit) != 0 && uint16(f>>fieldTagShift)&((1<<tagBits)-1) == tag {
+		t.targets[i] = uint64(target)
 		t.met.updates.Inc()
 		return
 	}
-	*e = entry{valid: true, tag: tag, target: target}
+	t.setField(i, packField(tag))
+	t.targets[i] = uint64(target)
 	t.met.installs.Inc()
 }
 
 // Reset invalidates every entry.
 func (t *Table) Reset() {
-	for i := range t.entries {
-		t.entries[i] = entry{}
+	if t.ref != nil {
+		for i := range t.ref {
+			t.ref[i] = entry{}
+		}
+	} else {
+		for i := range t.tags {
+			t.tags[i] = 0
+		}
+		for i := range t.targets {
+			t.targets[i] = 0
+		}
 	}
 	t.met = metrics{}
 }
@@ -177,13 +295,28 @@ type EntryState struct {
 }
 
 // State is a serializable copy of the table's architectural contents.
+// The format is layout-independent (see btb.State).
 type State struct{ Entries []EntryState }
 
 // State returns a deep copy of the table's architectural state.
 func (t *Table) State() State {
-	s := State{Entries: make([]EntryState, len(t.entries))}
-	for i, e := range t.entries {
-		s.Entries[i] = EntryState{Valid: e.valid, Tag: e.tag, Target: e.target}
+	s := State{Entries: make([]EntryState, t.n)}
+	if t.ref != nil {
+		for i, e := range t.ref {
+			s.Entries[i] = EntryState{Valid: e.valid, Tag: e.tag, Target: e.target}
+		}
+		return s
+	}
+	for i := 0; i < t.n; i++ {
+		f := t.field(i)
+		if f&(1<<fieldValidBit) == 0 {
+			continue // zero EntryState, like a cleared struct entry
+		}
+		s.Entries[i] = EntryState{
+			Valid:  true,
+			Tag:    uint16(f>>fieldTagShift) & ((1 << tagBits) - 1),
+			Target: zaddr.Addr(t.targets[i]),
+		}
 	}
 	return s
 }
@@ -191,11 +324,19 @@ func (t *Table) State() State {
 // RestoreState overwrites the table's contents with s, which must come
 // from a table of identical size.
 func (t *Table) RestoreState(s State) error {
-	if len(s.Entries) != len(t.entries) {
-		return fmt.Errorf("ctb: state has %d entries, table has %d", len(s.Entries), len(t.entries))
+	if len(s.Entries) != t.n {
+		return fmt.Errorf("ctb: state has %d entries, table has %d", len(s.Entries), t.n)
 	}
 	for i, e := range s.Entries {
-		t.entries[i] = entry{valid: e.Valid, tag: e.Tag, target: e.Target}
+		if t.ref != nil {
+			t.ref[i] = entry{valid: e.Valid, tag: e.Tag, target: e.Target}
+		} else if e.Valid {
+			t.setField(i, packField(e.Tag))
+			t.targets[i] = uint64(e.Target)
+		} else {
+			t.setField(i, 0)
+			t.targets[i] = 0
+		}
 	}
 	return nil
 }

@@ -39,14 +39,34 @@ const (
 	MetricDecodeRPS   = "decode_records_per_sec"
 	MetricDecodeAlloc = "decode_allocs_per_batch"
 	MetricMismatches  = "differential_mismatches"
+
+	// packed_tables scenario: per-structure lookup/insert rates for the
+	// packed structure-of-arrays layout and the retained struct-layout
+	// oracle, plus a layout equivalence cross-check.
+	MetricBTBPackedLookup = "btb_packed_lookup_ops_per_sec"
+	MetricBTBStructLookup = "btb_struct_lookup_ops_per_sec"
+	MetricBTBPackedInsert = "btb_packed_insert_ops_per_sec"
+	MetricBTBStructInsert = "btb_struct_insert_ops_per_sec"
+	MetricPHTPackedLookup = "pht_packed_lookup_ops_per_sec"
+	MetricPHTStructLookup = "pht_struct_lookup_ops_per_sec"
+	MetricCTBPackedLookup = "ctb_packed_lookup_ops_per_sec"
+	MetricCTBStructLookup = "ctb_struct_lookup_ops_per_sec"
+	MetricLayoutMismatch  = "layout_mismatches"
 )
 
 // throughputMetrics are gated lower-is-worse against the baseline.
-var throughputMetrics = []string{MetricSerialRPS, MetricParallelRPS, MetricSpeedup, MetricDecodeRPS}
+// Only the packed (shipping-layout) table rates are gated: the struct
+// oracle's rates are recorded for the before/after record but a slower
+// oracle is not a regression.
+var throughputMetrics = []string{
+	MetricSerialRPS, MetricParallelRPS, MetricSpeedup, MetricDecodeRPS,
+	MetricBTBPackedLookup, MetricBTBPackedInsert,
+	MetricPHTPackedLookup, MetricCTBPackedLookup,
+}
 
 // zeroMetrics must be exactly zero in every run, baseline or not: a
 // nonzero value means the pipeline is wrong, not slow.
-var zeroMetrics = []string{MetricDecodeAlloc, MetricMismatches}
+var zeroMetrics = []string{MetricDecodeAlloc, MetricMismatches, MetricLayoutMismatch}
 
 // ScenarioResult is one named scenario's measurements within an entry.
 type ScenarioResult struct {

@@ -189,6 +189,7 @@ func TestRunSmoke(t *testing.T) {
 		Label:              "smoke",
 		SweepInstructions:  12_000,
 		DecodeInstructions: 20_000,
+		PackedOps:          20_000,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -227,6 +228,23 @@ func TestRunSmoke(t *testing.T) {
 	if decode.Metric(MetricDecodeAlloc) != 0 {
 		t.Errorf("decode allocs/batch = %v, want 0", decode.Metric(MetricDecodeAlloc))
 	}
+	packed := entry.Scenario(ScenarioPackedTables)
+	if packed == nil {
+		t.Fatal("no packed_tables scenario")
+	}
+	for _, m := range []string{
+		MetricBTBPackedLookup, MetricBTBStructLookup,
+		MetricBTBPackedInsert, MetricBTBStructInsert,
+		MetricPHTPackedLookup, MetricPHTStructLookup,
+		MetricCTBPackedLookup, MetricCTBStructLookup,
+	} {
+		if packed.Metric(m) <= 0 {
+			t.Errorf("packed_tables metric %s = %v, want > 0", m, packed.Metric(m))
+		}
+	}
+	if packed.Metric(MetricLayoutMismatch) != 0 {
+		t.Errorf("layout mismatches = %v, want 0", packed.Metric(MetricLayoutMismatch))
+	}
 	// A fresh run gated against itself as baseline must pass.
 	if regs := Compare(&entry, entry, 0.15); len(regs) != 0 {
 		t.Errorf("self-comparison failed: %v", regs)
@@ -236,10 +254,11 @@ func TestRunSmoke(t *testing.T) {
 // TestScenariosListed keeps the listing in sync with the runner.
 func TestScenariosListed(t *testing.T) {
 	infos := Scenarios()
-	if len(infos) != 2 {
-		t.Fatalf("got %d scenarios, want 2", len(infos))
+	if len(infos) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(infos))
 	}
-	if infos[0].Name != ScenarioCapacitySweep || infos[1].Name != ScenarioBatchDecode {
+	if infos[0].Name != ScenarioCapacitySweep || infos[1].Name != ScenarioBatchDecode ||
+		infos[2].Name != ScenarioPackedTables {
 		t.Errorf("scenario order wrong: %+v", infos)
 	}
 	for _, in := range infos {

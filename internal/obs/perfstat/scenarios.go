@@ -24,6 +24,7 @@ import (
 const (
 	ScenarioCapacitySweep = "capacity_sweep"
 	ScenarioBatchDecode   = "batch_decode"
+	ScenarioPackedTables  = "packed_tables"
 )
 
 // ScenarioInfo describes one named scenario for listings.
@@ -42,6 +43,11 @@ func Scenarios() []ScenarioInfo {
 		{ScenarioBatchDecode,
 			"zero-alloc ZBPT batch decoder over an in-memory stream: " +
 				"throughput plus steady-state allocations per batch"},
+		{ScenarioPackedTables,
+			"per-structure predictor-table microbenchmarks: BTB lookup/insert " +
+				"and PHT/CTB lookup rates for the packed structure-of-arrays " +
+				"layout vs the struct-layout oracle, with a randomized " +
+				"layout-equivalence tripwire"},
 	}
 }
 
@@ -55,6 +61,7 @@ type Options struct {
 	// defaults; tests shrink them to keep the suite fast.
 	SweepInstructions  int // per profile trace length (default 150_000)
 	DecodeInstructions int // decoder throughput stream (default 200_000)
+	PackedOps          int // timed ops per packed-table measurement (default 1_000_000)
 }
 
 func (o *Options) withDefaults() Options {
@@ -70,6 +77,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.DecodeInstructions <= 0 {
 		out.DecodeInstructions = 200_000
+	}
+	if out.PackedOps <= 0 {
+		out.PackedOps = 1_000_000
 	}
 	return out
 }
@@ -90,7 +100,11 @@ func Run(ctx context.Context, opt Options) (Entry, error) {
 		if err != nil {
 			return Entry{}, fmt.Errorf("perfstat: %s run %d: %w", ScenarioBatchDecode, i+1, err)
 		}
-		runs = append(runs, []ScenarioResult{sweep, decode})
+		packed, err := runPackedTables(o.PackedOps)
+		if err != nil {
+			return Entry{}, fmt.Errorf("perfstat: %s run %d: %w", ScenarioPackedTables, i+1, err)
+		}
+		runs = append(runs, []ScenarioResult{sweep, decode, packed})
 	}
 	entry := Entry{
 		Schema:      SchemaVersion,

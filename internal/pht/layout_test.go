@@ -1,0 +1,66 @@
+package pht
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bulkpreload/internal/fault"
+	"bulkpreload/internal/history"
+	"bulkpreload/internal/zaddr"
+)
+
+// TestStructVsPackedModel drives identical randomized Lookup/Update
+// sequences — with identically seeded fault injectors striking both
+// tables — against the packed and struct layouts and demands identical
+// results, Stats, and State at every step.
+func TestStructVsPackedModel(t *testing.T) {
+	for _, prot := range []fault.Protection{fault.Unprotected, fault.Parity} {
+		packed := NewLayout(256, false)
+		ref := NewLayout(256, true)
+		packed.SetInjector(fault.NewInjector("pht", 2000, prot, 0xFEED, false))
+		ref.SetInjector(fault.NewInjector("pht", 2000, prot, 0xFEED, false))
+		rng := rand.New(rand.NewSource(1701))
+		var h history.History
+		for op := 0; op < 30000; op++ {
+			addr := zaddr.Addr(rng.Intn(1<<14)) &^ 1
+			switch rng.Intn(3) {
+			case 0:
+				h.RecordPrediction(addr, rng.Intn(2) == 0)
+			case 1:
+				tP, okP := packed.Lookup(&h, addr)
+				tR, okR := ref.Lookup(&h, addr)
+				if tP != tR || okP != okR {
+					t.Fatalf("prot %v op %d: Lookup diverged: (%v,%v) vs (%v,%v)", prot, op, tP, okP, tR, okR)
+				}
+			case 2:
+				taken := rng.Intn(2) == 0
+				packed.Update(&h, addr, taken)
+				ref.Update(&h, addr, taken)
+			}
+		}
+		if sP, sR := packed.Stats(), ref.Stats(); sP != sR {
+			t.Fatalf("prot %v: Stats diverged: %+v vs %+v", prot, sP, sR)
+		}
+		if fP, fR := packed.Injector().Stats(), ref.Injector().Stats(); fP != fR {
+			t.Fatalf("prot %v: fault stats diverged: %+v vs %+v", prot, fP, fR)
+		}
+		if cP, cR := packed.CountValid(), ref.CountValid(); cP != cR {
+			t.Fatalf("prot %v: CountValid diverged: %d vs %d", prot, cP, cR)
+		}
+		stP, stR := packed.State(), ref.State()
+		if !reflect.DeepEqual(stP, stR) {
+			t.Fatalf("prot %v: State diverged between layouts", prot)
+		}
+		// Cross-layout restore must round-trip bit-identically.
+		if err := packed.RestoreState(stR); err != nil {
+			t.Fatalf("prot %v: restore struct state into packed: %v", prot, err)
+		}
+		if err := ref.RestoreState(stP); err != nil {
+			t.Fatalf("prot %v: restore packed state into struct: %v", prot, err)
+		}
+		if !reflect.DeepEqual(packed.State(), ref.State()) {
+			t.Fatalf("prot %v: State diverged after cross-layout restore", prot)
+		}
+	}
+}

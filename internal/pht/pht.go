@@ -5,6 +5,11 @@
 // overrides the per-entry bimodal direction for branches the BTB marks
 // UsePHT (branches exhibiting multiple directions) — the same family as
 // the tagged ppm-like predictors of Michaud.
+//
+// The default storage packs each entry into a 13-bit field
+// (valid | 10-bit tag | 2-bit direction) stored 16 bits wide, four per
+// uint64 word; the original entry-struct slice survives behind the
+// structLayout flag of NewLayout as the equivalence oracle.
 package pht
 
 import (
@@ -23,7 +28,16 @@ const DefaultEntries = 4096
 // tagBits is the number of branch-address bits stored as tag per entry.
 const tagBits = 10
 
-// entry is one tagged direction record.
+// Packed 16-bit field layout (four fields per uint64 word): bit 0 is
+// valid, bits 1..10 the tag, bits 11..12 the 2-bit direction counter.
+const (
+	fieldValidBit = 0
+	fieldTagShift = 1
+	fieldDirShift = fieldTagShift + tagBits
+	fieldBits     = 16
+)
+
+// entry is one tagged direction record (struct-layout storage).
 type entry struct {
 	valid bool
 	tag   uint16
@@ -49,9 +63,11 @@ type metrics struct {
 
 // Table is the pattern history table.
 type Table struct {
-	entries []entry
-	inj     *fault.Injector // soft-error injection on Lookup; nil = off
-	met     metrics
+	n     int      // entry count
+	words []uint64 // packed fields, four entries per word (default layout)
+	ref   []entry  // struct-layout storage; nil when packed
+	inj   *fault.Injector // soft-error injection on Lookup; nil = off
+	met   metrics
 }
 
 // SetInjector attaches (or, with nil, detaches) a fault injector.
@@ -60,16 +76,49 @@ func (t *Table) SetInjector(j *fault.Injector) { t.inj = j }
 // Injector returns the attached injector (nil when faults are off).
 func (t *Table) Injector() *fault.Injector { return t.inj }
 
-// New builds a PHT with the given entry count (power of two).
-func New(entries int) *Table {
+// New builds a PHT with the given entry count (power of two), using the
+// packed layout.
+func New(entries int) *Table { return NewLayout(entries, false) }
+
+// NewLayout builds a PHT choosing the storage backend: packed 16-bit
+// fields (the default) or the retained entry-struct oracle layout. The
+// two are observationally equivalent; see the layout equivalence tests.
+func NewLayout(entries int, structLayout bool) *Table {
 	if entries <= 0 || entries&(entries-1) != 0 {
 		panic("pht: entries must be a positive power of two")
 	}
-	return &Table{entries: make([]entry, entries)}
+	if structLayout {
+		return &Table{n: entries, ref: make([]entry, entries)}
+	}
+	return &Table{n: entries, words: make([]uint64, (entries+3)/4)}
 }
 
 // Entries returns the table size.
-func (t *Table) Entries() int { return len(t.entries) }
+func (t *Table) Entries() int { return t.n }
+
+// field returns entry i's packed 16-bit field.
+//
+//zbp:hotpath
+func (t *Table) field(i int) uint64 {
+	return t.words[i>>2] >> (uint(i&3) * fieldBits) & 0xFFFF
+}
+
+// setField overwrites entry i's packed field with v.
+//
+//zbp:hotpath
+func (t *Table) setField(i int, v uint64) {
+	sh := uint(i&3) * fieldBits
+	t.words[i>>2] = t.words[i>>2]&^(uint64(0xFFFF)<<sh) | v<<sh
+}
+
+// packField builds the packed field for a valid entry.
+//
+//zbp:hotpath
+func packField(tag uint16, dir bht.Bimodal) uint64 {
+	return 1<<fieldValidBit |
+		uint64(tag&((1<<tagBits)-1))<<fieldTagShift |
+		uint64(dir&3)<<fieldDirShift
+}
 
 // Stats returns a view of the counters.
 func (t *Table) Stats() Stats {
@@ -95,8 +144,16 @@ func (t *Table) RegisterMetrics(r *obs.Registry, prefix string) {
 // CountValid returns the number of valid entries.
 func (t *Table) CountValid() int {
 	n := 0
-	for i := range t.entries {
-		if t.entries[i].valid {
+	if t.ref != nil {
+		for i := range t.ref {
+			if t.ref[i].valid {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < t.n; i++ {
+		if t.field(i)&(1<<fieldValidBit) != 0 {
 			n++
 		}
 	}
@@ -115,25 +172,60 @@ func tagOf(a zaddr.Addr) uint16 {
 //zbp:hotpath
 func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (taken bool, ok bool) {
 	t.met.lookups.Inc()
-	e := &t.entries[h.PHTIndex(addr, len(t.entries))]
-	if t.inj != nil && e.valid {
-		t.faultCheck(e)
+	i := h.PHTIndex(addr, t.n)
+	if t.ref != nil {
+		e := &t.ref[i]
+		if t.inj != nil && e.valid {
+			t.refFaultCheck(e)
+		}
+		if !e.valid || e.tag != tagOf(addr) {
+			return false, false
+		}
+		t.met.hits.Inc()
+		return e.dir.Taken(), true
 	}
-	if !e.valid || e.tag != tagOf(addr) {
+	f := t.field(i)
+	if t.inj != nil && f&(1<<fieldValidBit) != 0 {
+		t.faultCheck(i)
+		f = t.field(i)
+	}
+	if f&(1<<fieldValidBit) == 0 || uint16(f>>fieldTagShift)&((1<<tagBits)-1) != tagOf(addr) {
 		return false, false
 	}
 	t.met.hits.Inc()
-	return e.dir.Taken(), true
+	return bht.Bimodal(f >> fieldDirShift & 3).Taken(), true
 }
 
 // faultCheck strikes the entry being read, if this read is the one the
 // injector's schedule lands on. The flip domain is the stored payload:
-// 10 tag bits and the 2-bit direction counter. Parity recovers by
-// invalidation; unprotected flips persist (a flipped tag silently
-// redirects the entry to an aliasing branch).
+// 10 tag bits and the 2-bit direction counter — identical positions in
+// both layouts, so identical seeds corrupt identically. Parity recovers
+// by invalidation; unprotected flips persist (a flipped tag silently
+// redirects the entry to an aliasing branch). Packed layout.
 //
 //zbp:hotpath
-func (t *Table) faultCheck(e *entry) {
+func (t *Table) faultCheck(i int) {
+	bits, ok := t.inj.Strike()
+	if !ok {
+		return
+	}
+	if t.inj.Parity() {
+		t.setField(i, 0)
+		t.inj.NoteRecovered()
+		return
+	}
+	if b := bits % (tagBits + 2); b < tagBits {
+		t.setField(i, t.field(i)^1<<(fieldTagShift+b))
+	} else {
+		t.setField(i, t.field(i)^1<<(fieldDirShift+(b-tagBits)))
+	}
+	t.inj.NoteSilent()
+}
+
+// refFaultCheck is faultCheck for the struct layout.
+//
+//zbp:hotpath
+func (t *Table) refFaultCheck(e *entry) {
 	bits, ok := t.inj.Strike()
 	if !ok {
 		return
@@ -157,21 +249,40 @@ func (t *Table) faultCheck(e *entry) {
 //
 //zbp:hotpath
 func (t *Table) Update(h *history.History, addr zaddr.Addr, taken bool) {
-	e := &t.entries[h.PHTIndex(addr, len(t.entries))]
+	i := h.PHTIndex(addr, t.n)
 	tag := tagOf(addr)
-	if e.valid && e.tag == tag {
-		e.dir = e.dir.Update(taken)
+	if t.ref != nil {
+		e := &t.ref[i]
+		if e.valid && e.tag == tag {
+			e.dir = e.dir.Update(taken)
+			t.met.updates.Inc()
+			return
+		}
+		*e = entry{valid: true, tag: tag, dir: bht.Init(taken)}
+		t.met.installs.Inc()
+		return
+	}
+	f := t.field(i)
+	if f&(1<<fieldValidBit) != 0 && uint16(f>>fieldTagShift)&((1<<tagBits)-1) == tag {
+		dir := bht.Bimodal(f >> fieldDirShift & 3).Update(taken)
+		t.setField(i, packField(tag, dir))
 		t.met.updates.Inc()
 		return
 	}
-	*e = entry{valid: true, tag: tag, dir: bht.Init(taken)}
+	t.setField(i, packField(tag, bht.Init(taken)))
 	t.met.installs.Inc()
 }
 
 // Reset invalidates every entry.
 func (t *Table) Reset() {
-	for i := range t.entries {
-		t.entries[i] = entry{}
+	if t.ref != nil {
+		for i := range t.ref {
+			t.ref[i] = entry{}
+		}
+	} else {
+		for i := range t.words {
+			t.words[i] = 0
+		}
 	}
 	t.met = metrics{}
 }
@@ -184,13 +295,28 @@ type EntryState struct {
 }
 
 // State is a serializable copy of the table's architectural contents.
+// The format is layout-independent (see btb.State).
 type State struct{ Entries []EntryState }
 
 // State returns a deep copy of the table's architectural state.
 func (t *Table) State() State {
-	s := State{Entries: make([]EntryState, len(t.entries))}
-	for i, e := range t.entries {
-		s.Entries[i] = EntryState{Valid: e.valid, Tag: e.tag, Dir: e.dir}
+	s := State{Entries: make([]EntryState, t.n)}
+	if t.ref != nil {
+		for i, e := range t.ref {
+			s.Entries[i] = EntryState{Valid: e.valid, Tag: e.tag, Dir: e.dir}
+		}
+		return s
+	}
+	for i := 0; i < t.n; i++ {
+		f := t.field(i)
+		if f&(1<<fieldValidBit) == 0 {
+			continue // zero EntryState, like a cleared struct entry
+		}
+		s.Entries[i] = EntryState{
+			Valid: true,
+			Tag:   uint16(f>>fieldTagShift) & ((1 << tagBits) - 1),
+			Dir:   bht.Bimodal(f >> fieldDirShift & 3),
+		}
 	}
 	return s
 }
@@ -198,11 +324,17 @@ func (t *Table) State() State {
 // RestoreState overwrites the table's contents with s, which must come
 // from a table of identical size.
 func (t *Table) RestoreState(s State) error {
-	if len(s.Entries) != len(t.entries) {
-		return fmt.Errorf("pht: state has %d entries, table has %d", len(s.Entries), len(t.entries))
+	if len(s.Entries) != t.n {
+		return fmt.Errorf("pht: state has %d entries, table has %d", len(s.Entries), t.n)
 	}
 	for i, e := range s.Entries {
-		t.entries[i] = entry{valid: e.Valid, tag: e.Tag, dir: e.Dir}
+		if t.ref != nil {
+			t.ref[i] = entry{valid: e.Valid, tag: e.Tag, dir: e.Dir}
+		} else if e.Valid {
+			t.setField(i, packField(e.Tag, e.Dir))
+		} else {
+			t.setField(i, 0)
+		}
 	}
 	return nil
 }

@@ -40,7 +40,15 @@ type FaultPoint struct {
 // Points are ordered rate-major (unprotected then parity within a rate);
 // failed shards stay zero-valued and surface in the returned error.
 func FaultStudy(profile workload.Profile, params engine.Params, rates []float64) ([]FaultPoint, error) {
-	cfg := core.DefaultConfig()
+	return FaultStudyConfig(profile, core.DefaultConfig(), params, rates)
+}
+
+// FaultStudyConfig is FaultStudy under an explicit hierarchy
+// configuration. The layout differential suite runs it once per storage
+// layout: the fault model is defined over each entry's logical payload
+// bits, not its physical words, so identical seeds must corrupt both
+// layouts identically and the study's points must match exactly.
+func FaultStudyConfig(profile workload.Profile, cfg core.Config, params engine.Params, rates []float64) ([]FaultPoint, error) {
 	clean := engine.Run(workload.New(profile), cfg, params, ConfigBTB2)
 	cleanCPI := clean.CPI()
 

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"bulkpreload/internal/core"
+	"bulkpreload/internal/engine"
+	"bulkpreload/internal/workload"
+)
+
+// layoutUnits builds a reduced layout-gate unit set: a few Table 4
+// profiles with interval snapshots armed, so snapshot boundaries are
+// part of what the two layouts must agree on.
+func layoutUnits(profiles, instructions int) []Unit {
+	params := engine.DefaultParams()
+	params.WarmupInstructions = 2_000
+	params.SnapshotInterval = 5_000
+	var units []Unit
+	for _, p := range workload.Table4Profiles(instructions)[:profiles] {
+		units = append(units, ProfileUnit(p, core.DefaultConfig(), params, ConfigBTB2))
+	}
+	return units
+}
+
+// TestVerifyLayoutDifferential runs the packed-vs-struct layout gate on
+// a reduced unit set: parallel packed against serial struct oracle,
+// plus the mid-run ZBPC checkpoint round-trip with cross-layout
+// resumes. Zero mismatches proves the packed layout is observationally
+// identical to the struct layout, persisted mid-run state included.
+func TestVerifyLayoutDifferential(t *testing.T) {
+	units := layoutUnits(3, 12_000)
+	mismatches, err := VerifyLayoutDifferential(context.Background(), 2, units, 6_000)
+	if err != nil {
+		t.Fatalf("layout gate failed: %v", err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("layout gate reported %d mismatches:\n%s", len(mismatches), strings.Join(mismatches, "\n"))
+	}
+}
+
+// TestVerifyLayoutDifferentialFullSweep is the full 13-workload x
+// 3-seed battery the diffgate experiment ships, at reduced trace
+// length.
+func TestVerifyLayoutDifferentialFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("layout gate full sweep in -short mode")
+	}
+	params := engine.DefaultParams()
+	params.WarmupInstructions = 2_000
+	params.SnapshotInterval = 5_000
+	var units []Unit
+	for _, p := range workload.Table4Profiles(15_000) {
+		for s, seed := range []int64{p.Seed, p.Seed + 101, p.Seed + 9973} {
+			pp := p
+			pp.Seed = seed
+			pp.Name = fmt.Sprintf("%s/seed%d", p.Name, s)
+			units = append(units, ProfileUnit(pp, core.DefaultConfig(), params, ConfigBTB2))
+		}
+	}
+	mismatches, err := VerifyLayoutDifferential(context.Background(), 0, units, 7_500)
+	if err != nil {
+		t.Fatalf("layout gate failed: %v", err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("layout gate reported %d mismatches across %d units:\n%s",
+			len(mismatches), len(units), strings.Join(mismatches, "\n"))
+	}
+}
+
+// TestLayoutGateRejectsUnreachableCheckpoint: an interval past the end
+// of the trace means the checkpoint leg proved nothing — that must be
+// an error, not a silent pass.
+func TestLayoutGateRejectsUnreachableCheckpoint(t *testing.T) {
+	units := layoutUnits(1, 8_000)
+	_, err := VerifyLayoutDifferential(context.Background(), 1, units, 1_000_000)
+	if err == nil {
+		t.Fatal("layout gate accepted a checkpoint interval past the end of the run")
+	}
+}
+
+// TestFaultStudyLayoutEquivalence: the soft-error study must produce
+// identical points under both storage layouts for identical seeds —
+// the fault model strikes logical payload bits, so a flip that lands
+// in a packed word must corrupt exactly the field the struct layout
+// corrupts, and parity must detect and invalidate identically.
+func TestFaultStudyLayoutEquivalence(t *testing.T) {
+	prof := workload.Table4Profiles(15_000)[2]
+	params := engine.DefaultParams()
+	params.WarmupInstructions = 2_000
+	rates := []float64{200, 2_000}
+
+	packed, err := FaultStudyConfig(prof, core.DefaultConfig(), params, rates)
+	if err != nil {
+		t.Fatalf("packed fault study: %v", err)
+	}
+	structCfg := core.DefaultConfig()
+	structCfg.StructLayout = true
+	ref, err := FaultStudyConfig(prof, structCfg, params, rates)
+	if err != nil {
+		t.Fatalf("struct fault study: %v", err)
+	}
+	if len(packed) != len(ref) {
+		t.Fatalf("point counts differ: %d vs %d", len(packed), len(ref))
+	}
+	injected := false
+	for i := range packed {
+		if packed[i] != ref[i] {
+			t.Errorf("point %d (rate %g, %v) diverged:\npacked %+v\nstruct %+v",
+				i, packed[i].RatePerM, packed[i].Protection, packed[i], ref[i])
+		}
+		if packed[i].Stats.Injected > 0 {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("no faults injected anywhere — the equivalence check proved nothing")
+	}
+}
+
+// TestStructLayoutUnits: the helper must flip the layout knob on the
+// copies and leave the originals untouched.
+func TestStructLayoutUnits(t *testing.T) {
+	units := layoutUnits(2, 8_000)
+	ref := StructLayoutUnits(units)
+	for i := range units {
+		if units[i].Config.StructLayout {
+			t.Fatalf("unit %d: original mutated", i)
+		}
+		if !ref[i].Config.StructLayout {
+			t.Fatalf("unit %d: copy not flipped to struct layout", i)
+		}
+		if ref[i].Label != units[i].Label {
+			t.Fatalf("unit %d: label changed", i)
+		}
+	}
+}
