@@ -1,6 +1,8 @@
 // Command zbpcheck is the multichecker for the simulator's
 // domain-specific analyzer suite (internal/check/...): it mechanically
-// enforces determinism, the paper's address bit-geometry, the
+// enforces determinism, the paper's address bit-geometry, every
+// declared packed bit-layout (//zbp:layout pack/unpack codecs, proven
+// against the declaration and against each other), the
 // zero-allocation hot-path contract, metrics registration, error
 // handling, the shard scheduler's state-ownership discipline, the bulk
 // fast path's inertness proof, loop cancellation, the service layer's
@@ -19,7 +21,7 @@
 // docs/STATIC_ANALYSIS.md for the analyzer catalogue and the
 // //zbp:hotpath, //zbp:wallclock, //zbp:allow, //zbp:inert,
 // //zbp:bounded, //zbp:locked, //zbp:guardedby, //zbp:caller-holds,
-// and //zbp:durable annotations.
+// //zbp:durable, and //zbp:layout annotations.
 //
 // The checker loads packages offline: module and vendored packages by
 // path mapping, standard-library imports from GOROOT source. Packages
@@ -54,6 +56,7 @@ import (
 	"bulkpreload/internal/check/load"
 	"bulkpreload/internal/check/lockorder"
 	"bulkpreload/internal/check/obsreg"
+	"bulkpreload/internal/check/packlayout"
 	"bulkpreload/internal/check/sharedstate"
 	"bulkpreload/internal/check/staledirective"
 )
@@ -62,6 +65,7 @@ import (
 var suite = []*analysis.Analyzer{
 	determinism.Analyzer,
 	bitrange.Analyzer,
+	packlayout.Analyzer,
 	hotalloc.Analyzer,
 	obsreg.Analyzer,
 	erring.Analyzer,

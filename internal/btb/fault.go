@@ -31,6 +31,12 @@ func (t *Table) Injector() *fault.Injector { return t.inj }
 // canonical invalid state; leaving residue in the dead slot would be
 // unobservable to predictions but would make the layouts' State
 // snapshots diverge).
+//
+// Dependent packages restate this layout against the exported fact
+// (//zbp:layout btb.payload ...), so the bit positions below cannot
+// drift from what core's injector wiring assumes:
+//
+//zbp:layout payload word:payloadWidth dir:dirBit0..dirBit0+1 usePHT:usePHTBit useCTB:useCTBBit length:lengthBit0..lengthBit0+2 valid:validBit target:0..targetBits-1
 const (
 	targetBits   = 64             // Entry.Target, bits 0..63
 	dirBit0      = targetBits     // Entry.Dir, 2-bit bimodal counter

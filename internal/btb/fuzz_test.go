@@ -17,6 +17,28 @@ func FuzzPackedRow(f *testing.F) {
 	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), uint64(0))
 	f.Add(uint64(1), uint64(0xFFFE), uint64(2), uint64(0x8000_0000_0000_0001),
 		uint64(42), uint64(7), uint64(0xF00F), uint64(0xBEEF))
+	// Seed one input per declared field boundary of the packed layouts
+	// (//zbp:layout in packed.go), so the corpus starts exactly at the
+	// bit positions where off-by-one packing bugs live. For the Config
+	// below (IndexHi 55, IndexLo 58) the tag word's declared fields sit
+	// at valid:0, offset:1..5, tag:6..63.
+	for _, bit := range []uint{0, 1, 5, 6, 63} {
+		f.Add(uint64(1)<<bit|1, uint64(0), uint64(0), uint64(0),
+			uint64(0), uint64(0), uint64(0x3210), uint64(0))
+	}
+	// Meta lane: dir:0..1, usePHT:2, useCTB:3, length:4..11 inside each
+	// of the four 16-bit slots of the shared word.
+	for slot := uint(0); slot < 4; slot++ {
+		for _, b := range []uint{0, 1, 2, 3, 4, 11, 15} {
+			f.Add(uint64(1), uint64(0), uint64(0), uint64(0),
+				uint64(0), uint64(1)<<(slot*16+b), uint64(0x3210), uint64(0))
+		}
+	}
+	// LRU word: rank[16] nibbles — flood one rank's nibble per seed.
+	for rank := uint(0); rank < 4; rank++ {
+		f.Add(uint64(1), uint64(0), uint64(0), uint64(0),
+			uint64(0), uint64(0), uint64(0x3210)^uint64(0xF)<<(rank*4), uint64(0))
+	}
 	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, targ, meta, lruWord, probe uint64) {
 		cfg := Config{Name: "fuzz", Rows: 16, Ways: 4, IndexHi: 55, IndexLo: 58, TagBits: 3}
 		tbl := New(cfg)

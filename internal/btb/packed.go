@@ -35,6 +35,14 @@ import (
 // LRU word, one per row: 4-bit way numbers indexed by recency rank,
 // rank 0 (bits 0..3) = MRU, rank Ways-1 = LRU. Promote/demote are a
 // masked shift of the ranks between the way's old and new position.
+//
+// The packlayout analyzer proves every codec below against these
+// declarations (docs/STATIC_ANALYSIS.md#packlayout):
+//
+//zbp:layout tagword word:64 valid:0 offset:1..@offBits tag:@tagShift..63
+//zbp:layout meta word:16 dir:metaDirShift..metaDirShift+1 usePHT:metaUsePHTBit useCTB:metaUseCTBBit length:metaLenShift..metaLenShift+7
+//zbp:layout metaslots word:64 slot[4]:0..metaFieldBits-1
+//zbp:layout lruword word:64 rank[16]:0..3
 const (
 	metaDirShift  = 0
 	metaUsePHTBit = 2
@@ -48,6 +56,7 @@ const (
 // rows against.
 //
 //zbp:hotpath
+//zbp:layout tagword pack
 func (t *Table) packKey(a zaddr.Addr) uint64 {
 	k := 1 | zaddr.OffsetWithin(a, t.lineBytes)<<1
 	if t.hiBits > 0 {
@@ -59,6 +68,7 @@ func (t *Table) packKey(a zaddr.Addr) uint64 {
 // packMeta builds the 16-bit meta field for e.
 //
 //zbp:hotpath
+//zbp:layout meta pack
 func packMeta(e Entry) uint64 {
 	m := uint64(e.Dir)&3 | uint64(e.Length)<<metaLenShift
 	if e.UsePHT {
@@ -76,6 +86,8 @@ func packMeta(e Entry) uint64 {
 // even when compares truncate to TagBits.
 //
 //zbp:hotpath
+//zbp:layout tagword unpack
+//zbp:layout meta unpack
 func (t *Table) unpackEntry(row, w int, e *Entry) {
 	i := row*t.cfg.Ways + w
 	k := t.tags[i]
@@ -120,24 +132,30 @@ func (t *Table) clearSlot(i int) {
 // metaField returns slot i's 16-bit meta field.
 //
 //zbp:hotpath
+//zbp:layout metaslots unpack
 func (t *Table) metaField(i int) uint64 {
 	return t.meta[i>>2] >> (uint(i&3) * metaFieldBits) & 0xFFFF
 }
 
-// setMetaField overwrites slot i's 16-bit meta field with v.
+// setMetaField overwrites slot i's 16-bit meta field with v. The
+// store masks v to the slot width so a wide value can never smear
+// into the neighboring slots.
 //
 //zbp:hotpath
+//zbp:layout metaslots pack
 func (t *Table) setMetaField(i int, v uint64) {
 	sh := uint(i&3) * metaFieldBits
-	t.meta[i>>2] = t.meta[i>>2]&^(uint64(0xFFFF)<<sh) | v<<sh
+	t.meta[i>>2] = t.meta[i>>2]&^(uint64(0xFFFF)<<sh) | (v&0xFFFF)<<sh
 }
 
 // xorMetaField flips the given bits of slot i's meta field (the fault
-// injector's single-event-upset primitive).
+// injector's single-event-upset primitive). Masking bits to the slot
+// width keeps the flip from leaking into the neighboring slots.
 //
 //zbp:hotpath
+//zbp:layout metaslots pack
 func (t *Table) xorMetaField(i int, bits uint64) {
-	t.meta[i>>2] ^= bits << (uint(i&3) * metaFieldBits)
+	t.meta[i>>2] ^= (bits & 0xFFFF) << (uint(i&3) * metaFieldBits)
 }
 
 // rankOf returns way w's recency rank in the LRU word. The word is a
@@ -146,6 +164,7 @@ func (t *Table) xorMetaField(i int, bits uint64) {
 // compare to keep the loop bounded even on corrupt words.
 //
 //zbp:hotpath
+//zbp:layout lruword unpack
 func rankOf(word uint64, w, ways int) uint {
 	for k := uint(0); k < uint(ways-1); k++ {
 		if int(word>>(4*k)&0xF) == w {
@@ -159,6 +178,7 @@ func rankOf(word uint64, w, ways int) uint {
 // below w's old position shift up one nibble and w drops into rank 0.
 //
 //zbp:hotpath
+//zbp:layout lruword pack
 func (t *Table) promoteWay(row, w int) {
 	word := t.lru[row]
 	pos := rankOf(word, w, t.cfg.Ways)
@@ -172,6 +192,7 @@ func (t *Table) promoteWay(row, w int) {
 // rank.
 //
 //zbp:hotpath
+//zbp:layout lruword pack
 func (t *Table) demoteWay(row, w int) {
 	word := t.lru[row]
 	pos := rankOf(word, w, t.cfg.Ways)

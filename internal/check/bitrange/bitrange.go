@@ -47,6 +47,25 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	}
 	allows := directive.CollectAllows(pass, name)
 	for _, f := range pass.Files {
+		// Functions bound to a //zbp:layout are the packlayout
+		// analyzer's jurisdiction: their raw shift/mask arithmetic is
+		// checked against the declared field geometry there, so the
+		// blanket raw-arithmetic rule stands down instead of demanding
+		// an allow escape per codec.
+		var layoutBodies [][2]token.Pos
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil && directive.HasLayout(fn) {
+				layoutBodies = append(layoutBodies, [2]token.Pos{fn.Body.Pos(), fn.Body.End()})
+			}
+		}
+		inLayout := func(pos token.Pos) bool {
+			for _, r := range layoutBodies {
+				if pos >= r[0] && pos < r[1] {
+					return true
+				}
+			}
+			return false
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
@@ -54,7 +73,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			case *ast.CompositeLit:
 				checkConfigLit(pass, allows, n)
 			case *ast.BinaryExpr:
-				checkRawBitArith(pass, allows, n)
+				if !inLayout(n.Pos()) {
+					checkRawBitArith(pass, allows, n)
+				}
 			}
 			return true
 		})

@@ -1,0 +1,1267 @@
+package packlayout
+
+// Intraprocedural bit-width and shift propagation for role-annotated
+// pack/unpack bodies. The checker collects every packing write
+// (|=, ^=, &^=, an = / := / return whose right side is an or/xor/shift
+// tree) and every field read (x>>s with its dominating mask, x&mask,
+// const-indexed byte slices) and verifies each against the bound
+// layout: the shift must land on a declared field boundary and the
+// value's provable width must not exceed the field.
+//
+// The propagation is deliberately three-valued. A shift amount is a
+// known constant, a symbolic selector (+offset) like t.tagShift, a
+// constant multiple like 4*k (nibble and lane-slot striding), or
+// unknown; a value width is a known bit count, symbolic, or unknown.
+// Unknown never produces a diagnostic — only provable mismatches do —
+// and negative findings ("no field starts at bit N") fire only on
+// bases that some other access has definitively tied to the layout,
+// so reconstruction arithmetic on non-lane locals stays silent.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"math/bits"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"bulkpreload/internal/check/directive"
+)
+
+// ---------------------------------------------------------------------
+// Bound resolution: "<int>|<const>|@<sym>" joined by + and -.
+
+var symNameRE = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+// resolveBound evaluates one raw bound expression against the package
+// scope: a sum of integer literals, package-level integer constants,
+// and at most one additive @ident symbolic term.
+func resolveBound(pass *analysis.Pass, expr string) (Bound, error) {
+	if expr == "" {
+		return Bound{}, fmt.Errorf("empty bound")
+	}
+	var b Bound
+	sign := int64(1)
+	for i := 0; i < len(expr); {
+		switch expr[i] {
+		case '+':
+			sign = 1
+			i++
+			continue
+		case '-':
+			sign = -1
+			i++
+			continue
+		}
+		j := i
+		for j < len(expr) && expr[j] != '+' && expr[j] != '-' {
+			j++
+		}
+		term := expr[i:j]
+		i = j
+		switch {
+		case term[0] == '@':
+			name := term[1:]
+			if !symNameRE.MatchString(name) {
+				return Bound{}, fmt.Errorf("bound %q: invalid symbolic term %q", expr, term)
+			}
+			if sign < 0 {
+				return Bound{}, fmt.Errorf("bound %q: a @symbolic term cannot be subtracted", expr)
+			}
+			if b.Sym != "" {
+				return Bound{}, fmt.Errorf("bound %q: at most one @symbolic term is allowed", expr)
+			}
+			b.Sym = name
+		case term[0] >= '0' && term[0] <= '9':
+			v, err := strconv.ParseInt(term, 0, 64)
+			if err != nil {
+				return Bound{}, fmt.Errorf("bound %q: bad integer %q", expr, term)
+			}
+			b.Off += sign * v
+		default:
+			if !symNameRE.MatchString(term) {
+				return Bound{}, fmt.Errorf("bound %q: bad term %q", expr, term)
+			}
+			cst, ok := pass.Pkg.Scope().Lookup(term).(*types.Const)
+			if !ok {
+				return Bound{}, fmt.Errorf("references constant %q, which does not exist in package %s — the layout directive has drifted from the code",
+					term, pass.Pkg.Name())
+			}
+			v, ok := constant.Int64Val(constant.ToInt(cst.Val()))
+			if !ok {
+				return Bound{}, fmt.Errorf("constant %q is not an integer", term)
+			}
+			b.Off += sign * v
+		}
+		sign = 1
+	}
+	return b, nil
+}
+
+// ---------------------------------------------------------------------
+// Shift and width lattices.
+
+type sKind int
+
+const (
+	sUnknown sKind = iota
+	sConst         // exactly c
+	sSym           // sym + off, sym a selector field name (runtime geometry)
+	sFactor        // an unknown multiple of c (array striding)
+)
+
+type shiftVal struct {
+	kind sKind
+	c    int64 // sConst value, sFactor stride
+	sym  string
+	off  int64
+}
+
+func (s shiftVal) String() string {
+	switch s.kind {
+	case sConst:
+		return fmt.Sprintf("%d", s.c)
+	case sSym:
+		return Bound{Sym: s.sym, Off: s.off}.String()
+	case sFactor:
+		return fmt.Sprintf("k*%d", s.c)
+	}
+	return "?"
+}
+
+type wKind int
+
+const (
+	wUnknown wKind = iota
+	wConst         // value provably fits in `bits` bits
+	wSym           // fits in sym+bits bits
+	wMasked        // dominated by an explicit prefix mask of runtime width
+)
+
+type widthVal struct {
+	kind wKind
+	bits int64
+	sym  string
+}
+
+// minW combines two upper bounds under &: any sound bound of either
+// side bounds the result. Prefer the symbolic one when kinds mix — it
+// is the semantically intended mask in every idiom in the tree.
+func minW(a, b widthVal) widthVal {
+	switch {
+	case a.kind == wUnknown:
+		return b
+	case b.kind == wUnknown:
+		return a
+	case a.kind == wConst && b.kind == wConst:
+		if b.bits < a.bits {
+			return b
+		}
+		return a
+	case a.kind == wSym:
+		return a
+	}
+	return b
+}
+
+// widthFromShift turns a shift amount into the width of the prefix
+// mask (1<<shift)-1.
+func widthFromShift(s shiftVal) widthVal {
+	switch s.kind {
+	case sConst:
+		return widthVal{kind: wConst, bits: s.c}
+	case sSym:
+		return widthVal{kind: wSym, sym: s.sym, bits: s.off}
+	}
+	return widthVal{}
+}
+
+// ---------------------------------------------------------------------
+// The per-function checker.
+
+// binding ties one checked function to one resolved layout.
+type binding struct {
+	name         string
+	spec         Spec
+	pack, unpack bool
+	written      map[string]bool
+	read         map[string]bool
+}
+
+// access is one collected packing write, field read, or byte-extent
+// access within the function body.
+type access struct {
+	pos, end token.Pos
+	base     string
+	write    bool
+	clear    bool // &^ mask: containment checked, no coverage credit
+	sh       shiftVal
+	w        widthVal // value width (writes) or read cap (reads)
+	capped   bool     // read: an explicit mask/conversion bounds it
+	byteAcc  bool
+	bLo, bHi int64
+}
+
+func (a *access) Pos() token.Pos { return a.pos }
+func (a *access) End() token.Pos { return a.end }
+
+type checker struct {
+	pass     *analysis.Pass
+	allows   *directive.AllowSet
+	fn       *ast.FuncDecl
+	binds    []*binding
+	defs     map[types.Object]ast.Expr
+	bad      map[types.Object]bool
+	parents  map[ast.Node]ast.Node
+	accesses []*access
+}
+
+func checkFunc(pass *analysis.Pass, allows *directive.AllowSet, fn *ast.FuncDecl, binds []*binding) {
+	c := &checker{
+		pass: pass, allows: allows, fn: fn, binds: binds,
+		defs:    map[types.Object]ast.Expr{},
+		bad:     map[types.Object]bool{},
+		parents: map[ast.Node]ast.Node{},
+	}
+	for _, b := range binds {
+		b.written = map[string]bool{}
+		b.read = map[string]bool{}
+	}
+	c.collectDefs()
+	c.collectParents()
+	c.collectAccesses()
+	c.evaluate()
+	c.coverage()
+}
+
+// collectDefs records single-assignment locals (x := expr, never
+// reassigned) so shift/width propagation can look through them.
+func (c *checker) collectDefs() {
+	disqualify := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			c.bad[obj] = true
+		}
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			c.bad[obj] = true
+		}
+	}
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+						if _, dup := c.defs[obj]; dup {
+							c.bad[obj] = true
+						} else {
+							c.defs[obj] = n.Rhs[0]
+						}
+						return true
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				disqualify(lhs)
+			}
+		case *ast.IncDecStmt:
+			disqualify(n.X)
+		case *ast.RangeStmt:
+			disqualify(n.Key)
+			disqualify(n.Value)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				disqualify(n.X) // address taken: anything may write it
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) collectParents() {
+	var stack []ast.Node
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			c.parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// defOf resolves an identifier to its single-assignment definition.
+func (c *checker) defOf(id *ast.Ident) (ast.Expr, types.Object) {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil || c.bad[obj] {
+		return nil, nil
+	}
+	return c.defs[obj], obj
+}
+
+func (c *checker) intConst(e ast.Expr) (int64, bool) {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+// ---------------------------------------------------------------------
+// Access collection.
+
+func (c *checker) collectAccesses() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isPackRHS(r) {
+					c.addTerms("<packed return>", r, nil)
+				}
+			}
+		case *ast.BinaryExpr:
+			c.maybeRead(n)
+		case *ast.IndexExpr:
+			c.maybeByteIndex(n)
+		case *ast.SliceExpr:
+			c.maybeByteSlice(n)
+		}
+		return true
+	})
+}
+
+// isPackRHS reports whether an assigned value is an or/xor/shift tree
+// worth decomposing into packing terms.
+func isPackRHS(e ast.Expr) bool {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.OR, token.XOR, token.SHL, token.AND_NOT:
+		return true
+	}
+	return false
+}
+
+func (c *checker) assign(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		base := render(c.pass.Fset, n.Lhs[i])
+		switch n.Tok {
+		case token.OR_ASSIGN, token.XOR_ASSIGN:
+			c.addTerms(base, rhs, nil)
+		case token.AND_NOT_ASSIGN:
+			c.addClear(base, rhs)
+		case token.ASSIGN, token.DEFINE:
+			if isPackRHS(rhs) {
+				c.addTerms(base, rhs, nil)
+			}
+		}
+	}
+}
+
+// addTerms decomposes a packing expression into or-terms and records a
+// write access per term.
+func (c *checker) addTerms(base string, e ast.Expr, seen map[types.Object]bool) {
+	e = ast.Unparen(e)
+	if v, ok := c.intConst(e); ok {
+		if v <= 0 {
+			return // zero contributes no field; negative is not a pack
+		}
+		tz := int64(bits.TrailingZeros64(uint64(v)))
+		c.accesses = append(c.accesses, &access{
+			pos: e.Pos(), end: e.End(), base: base, write: true,
+			sh: shiftVal{kind: sConst, c: tz},
+			w:  widthVal{kind: wConst, bits: int64(bits.Len64(uint64(v))) - tz},
+		})
+		return
+	}
+	if bin, ok := e.(*ast.BinaryExpr); ok {
+		switch bin.Op {
+		case token.OR, token.XOR:
+			c.addTerms(base, bin.X, seen)
+			c.addTerms(base, bin.Y, seen)
+			return
+		case token.SHL:
+			c.accesses = append(c.accesses, &access{
+				pos: e.Pos(), end: e.End(), base: base, write: true,
+				sh: c.shiftOf(bin.Y, nil),
+				w:  c.widthOf(bin.X, nil),
+			})
+			return
+		case token.AND_NOT:
+			// old &^ mask: the kept remainder of a read-modify-write.
+			c.addClear(base, bin.Y)
+			return
+		}
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if def, obj := c.defOf(id); def != nil && !seen[obj] {
+			if seen == nil {
+				seen = map[types.Object]bool{}
+			}
+			seen[obj] = true
+			c.addTerms(base, def, seen)
+			return
+		}
+	}
+	c.accesses = append(c.accesses, &access{
+		pos: e.Pos(), end: e.End(), base: base, write: true,
+		sh: shiftVal{kind: sConst},
+		w:  c.widthOf(e, nil),
+	})
+}
+
+// addClear records a &^-style clear of the masked extent.
+func (c *checker) addClear(base string, mask ast.Expr) {
+	lo, w, ok := c.maskExtent(mask, nil)
+	if !ok {
+		return
+	}
+	c.accesses = append(c.accesses, &access{
+		pos: mask.Pos(), end: mask.End(), base: base,
+		write: true, clear: true, sh: lo, w: w,
+	})
+}
+
+// maskExtent decomposes a mask expression into (low bit, width):
+// constants, prefix masks (1<<e)-1, shifted masks m<<s, and
+// single-assignment locals thereof.
+func (c *checker) maskExtent(e ast.Expr, seen map[types.Object]bool) (shiftVal, widthVal, bool) {
+	e = ast.Unparen(e)
+	if v, ok := c.intConst(e); ok {
+		if v <= 0 {
+			return shiftVal{}, widthVal{}, false
+		}
+		tz := int64(bits.TrailingZeros64(uint64(v)))
+		return shiftVal{kind: sConst, c: tz},
+			widthVal{kind: wConst, bits: int64(bits.Len64(uint64(v))) - tz}, true
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.SHL:
+			lo, w, ok := c.maskExtent(e.X, seen)
+			if !ok {
+				return shiftVal{}, widthVal{}, false
+			}
+			sh := c.shiftOf(e.Y, nil)
+			if sh.kind == sUnknown {
+				return shiftVal{}, widthVal{}, false
+			}
+			if lo.kind != sConst || lo.c != 0 {
+				// Shifting an already-offset mask: give up rather than
+				// mis-add heterogeneous shift kinds.
+				if lo.kind == sConst && sh.kind == sConst {
+					return shiftVal{kind: sConst, c: lo.c + sh.c}, w, true
+				}
+				return shiftVal{}, widthVal{}, false
+			}
+			return sh, w, true
+		case token.SUB:
+			// (1 << e) - 1: the prefix mask idiom.
+			if v, ok := c.intConst(e.Y); ok && v == 1 {
+				if shl, ok := ast.Unparen(e.X).(*ast.BinaryExpr); ok && shl.Op == token.SHL {
+					if one, ok := c.intConst(shl.X); ok && one == 1 {
+						w := widthFromShift(c.shiftOf(shl.Y, nil))
+						if w.kind == wUnknown {
+							return shiftVal{}, widthVal{}, false
+						}
+						return shiftVal{kind: sConst, c: 0}, w, true
+					}
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if t, inner := c.conversion(e); t != nil {
+			_ = t
+			return c.maskExtent(inner, seen)
+		}
+	case *ast.Ident:
+		if def, obj := c.defOf(e); def != nil && !seen[obj] {
+			if seen == nil {
+				seen = map[types.Object]bool{}
+			}
+			seen[obj] = true
+			return c.maskExtent(def, seen)
+		}
+	}
+	return shiftVal{}, widthVal{}, false
+}
+
+// isPrefixMask recognizes the (1<<e)-1 shape (directly or through a
+// single-assignment local) without needing its width to resolve.
+func (c *checker) isPrefixMask(e ast.Expr, seen map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		if e.Op != token.SUB {
+			return false
+		}
+		if v, ok := c.intConst(e.Y); !ok || v != 1 {
+			return false
+		}
+		shl, ok := ast.Unparen(e.X).(*ast.BinaryExpr)
+		if !ok || shl.Op != token.SHL {
+			return false
+		}
+		one, ok := c.intConst(shl.X)
+		return ok && one == 1
+	case *ast.CallExpr:
+		if t, inner := c.conversion(e); t != nil {
+			return c.isPrefixMask(inner, seen)
+		}
+	case *ast.Ident:
+		if def, obj := c.defOf(e); def != nil && !seen[obj] {
+			if seen == nil {
+				seen = map[types.Object]bool{}
+			}
+			seen[obj] = true
+			return c.isPrefixMask(def, seen)
+		}
+	}
+	return false
+}
+
+// maybeRead collects x>>s and x&mask reads on simple unsigned bases.
+func (c *checker) maybeRead(bin *ast.BinaryExpr) {
+	switch bin.Op {
+	case token.SHR:
+		baseE := ast.Unparen(bin.X)
+		if !c.simpleUnsignedBase(baseE) {
+			return
+		}
+		sh := c.shiftOf(bin.Y, nil)
+		cap, capped := c.readCap(bin)
+		c.accesses = append(c.accesses, &access{
+			pos: bin.Pos(), end: bin.End(), base: render(c.pass.Fset, baseE),
+			sh: sh, w: cap, capped: capped,
+		})
+	case token.AND:
+		var baseE, maskE ast.Expr
+		x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+		if c.simpleUnsignedBase(x) {
+			baseE, maskE = x, y
+		} else if c.simpleUnsignedBase(y) {
+			baseE, maskE = y, x
+		} else {
+			return
+		}
+		lo, w, ok := c.maskExtent(maskE, nil)
+		if !ok {
+			return
+		}
+		c.accesses = append(c.accesses, &access{
+			pos: bin.Pos(), end: bin.End(), base: render(c.pass.Fset, baseE),
+			sh: lo, w: w, capped: true,
+		})
+	}
+}
+
+// readCap climbs the parent chain of a shift-read looking for the
+// dominating mask or narrowing conversion that bounds the bits
+// actually consumed.
+func (c *checker) readCap(n ast.Node) (widthVal, bool) {
+	best := widthVal{}
+	capped := false
+	for {
+		p := c.parents[n]
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			n = p
+			continue
+		case *ast.BinaryExpr:
+			if p.Op == token.AND {
+				other := p.Y
+				if ast.Node(other) == n || other.Pos() == n.(ast.Expr).Pos() {
+					other = p.X
+				}
+				if lo, w, ok := c.maskExtent(other, nil); ok && lo.kind == sConst && lo.c == 0 {
+					best = minW(best, w)
+					capped = true
+					n = p
+					continue
+				}
+			}
+		case *ast.CallExpr:
+			if t, _ := c.conversion(p); t != nil {
+				if tw, ok := unsignedWidth(t); ok {
+					best = minW(best, widthVal{kind: wConst, bits: tw})
+					capped = true
+					n = p
+					continue
+				}
+			}
+		}
+		return best, capped
+	}
+}
+
+// maybeByteIndex collects const-indexed single-byte accesses on byte
+// slices/arrays.
+func (c *checker) maybeByteIndex(idx *ast.IndexExpr) {
+	baseE := ast.Unparen(idx.X)
+	if !c.simpleBase(baseE) || !isByteSeq(c.pass.TypesInfo.TypeOf(idx.X)) {
+		return
+	}
+	v, ok := c.intConst(idx.Index)
+	if !ok || v < 0 {
+		return
+	}
+	write := false
+	if asg, ok := c.parents[idx].(*ast.AssignStmt); ok {
+		for _, lhs := range asg.Lhs {
+			if lhs == ast.Expr(idx) {
+				write = true
+			}
+		}
+	}
+	c.accesses = append(c.accesses, &access{
+		pos: idx.Pos(), end: idx.End(), base: render(c.pass.Fset, baseE),
+		write: write, byteAcc: true, bLo: v, bHi: v,
+	})
+}
+
+// putSizes maps the binary.ByteOrder codec names to their fixed widths.
+var putSizes = map[string]int64{
+	"PutUint16": 2, "PutUint32": 4, "PutUint64": 8,
+	"Uint16": 2, "Uint32": 4, "Uint64": 8,
+}
+
+// maybeByteSlice collects const-bounded subslices of byte slices — the
+// byte-granular twin of a shift/mask access.
+func (c *checker) maybeByteSlice(sl *ast.SliceExpr) {
+	baseE := ast.Unparen(sl.X)
+	if !c.simpleBase(baseE) || !isByteSeq(c.pass.TypesInfo.TypeOf(sl.X)) {
+		return
+	}
+	lo := int64(0)
+	if sl.Low != nil {
+		v, ok := c.intConst(sl.Low)
+		if !ok {
+			return
+		}
+		lo = v
+	}
+	if sl.High == nil {
+		return // open extent: not a field access
+	}
+	hi, ok := c.intConst(sl.High)
+	if !ok || hi <= lo {
+		return
+	}
+	write := false
+	if call, ok := c.parents[sl].(*ast.CallExpr); ok && len(call.Args) > 0 && call.Args[0] == ast.Expr(sl) {
+		name := calleeName(call)
+		if strings.HasPrefix(name, "Put") || name == "copy" {
+			write = true
+		}
+		if want, known := putSizes[name]; known && hi-lo != want {
+			c.allows.Report(c.pass, &access{pos: sl.Pos(), end: sl.End()},
+				"%s wants exactly %d bytes but the slice spans bytes %d..%d (%d bytes)",
+				name, want, lo, hi-1, hi-lo)
+		}
+	}
+	c.accesses = append(c.accesses, &access{
+		pos: sl.Pos(), end: sl.End(), base: render(c.pass.Fset, baseE),
+		write: write, byteAcc: true, bLo: lo, bHi: hi - 1,
+	})
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------
+// Shift and width propagation.
+
+func (c *checker) shiftOf(e ast.Expr, seen map[types.Object]bool) shiftVal {
+	e = ast.Unparen(e)
+	if v, ok := c.intConst(e); ok {
+		if v < 0 {
+			return shiftVal{}
+		}
+		return shiftVal{kind: sConst, c: v}
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return shiftVal{kind: sSym, sym: e.Sel.Name}
+	case *ast.Ident:
+		if def, obj := c.defOf(e); def != nil && !seen[obj] {
+			if seen == nil {
+				seen = map[types.Object]bool{}
+			}
+			seen[obj] = true
+			return c.shiftOf(def, seen)
+		}
+	case *ast.CallExpr:
+		if t, inner := c.conversion(e); t != nil {
+			return c.shiftOf(inner, seen)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD:
+			if v, ok := c.intConst(e.Y); ok {
+				return shiftPlus(c.shiftOf(e.X, seen), v)
+			}
+			if v, ok := c.intConst(e.X); ok {
+				return shiftPlus(c.shiftOf(e.Y, seen), v)
+			}
+		case token.SUB:
+			if v, ok := c.intConst(e.Y); ok {
+				return shiftPlus(c.shiftOf(e.X, seen), -v)
+			}
+		case token.MUL:
+			if v, ok := c.intConst(e.Y); ok && v > 0 {
+				return shiftTimes(c.shiftOf(e.X, seen), v)
+			}
+			if v, ok := c.intConst(e.X); ok && v > 0 {
+				return shiftTimes(c.shiftOf(e.Y, seen), v)
+			}
+		}
+	}
+	return shiftVal{}
+}
+
+func shiftPlus(s shiftVal, v int64) shiftVal {
+	switch s.kind {
+	case sConst:
+		if s.c+v >= 0 {
+			return shiftVal{kind: sConst, c: s.c + v}
+		}
+	case sSym:
+		return shiftVal{kind: sSym, sym: s.sym, off: s.off + v}
+	case sFactor:
+		if v == 0 {
+			return s
+		}
+		if v > 0 {
+			return shiftVal{kind: sFactor, c: gcd(s.c, v)}
+		}
+	}
+	return shiftVal{}
+}
+
+func shiftTimes(s shiftVal, v int64) shiftVal {
+	switch s.kind {
+	case sFactor:
+		return shiftVal{kind: sFactor, c: s.c * v}
+	case sUnknown, sSym:
+		// v times anything — even a symbolic quantity — is a multiple
+		// of v, which is all array-element matching needs.
+		return shiftVal{kind: sFactor, c: v}
+	}
+	return shiftVal{} // const handled by intConst on the whole expr
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// conversion recognizes a type-conversion call T(x), returning the
+// target type and operand.
+func (c *checker) conversion(call *ast.CallExpr) (types.Type, ast.Expr) {
+	if len(call.Args) != 1 {
+		return nil, nil
+	}
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return tv.Type, call.Args[0]
+	}
+	return nil, nil
+}
+
+func (c *checker) widthOf(e ast.Expr, seen map[types.Object]bool) widthVal {
+	e = ast.Unparen(e)
+	if v, ok := c.intConst(e); ok {
+		if v < 0 {
+			return widthVal{}
+		}
+		return widthVal{kind: wConst, bits: int64(bits.Len64(uint64(v)))}
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.AND:
+			for _, side := range []ast.Expr{e.X, e.Y} {
+				if c.isPrefixMask(side, nil) {
+					if _, _, ok := c.maskExtent(side, nil); !ok {
+						// The bulk-move idiom: word & (1<<(4*pos) - 1).
+						// The mask's width is runtime-computed, but its
+						// presence is the explicit bounding the layout
+						// contract asks for.
+						return widthVal{kind: wMasked}
+					}
+				}
+			}
+			return minW(c.widthOf(e.X, seen), c.widthOf(e.Y, seen))
+		case token.AND_NOT:
+			return c.widthOf(e.X, seen)
+		case token.OR, token.XOR:
+			wx, wy := c.widthOf(e.X, seen), c.widthOf(e.Y, seen)
+			if wx.kind == wConst && wy.kind == wConst {
+				if wy.bits > wx.bits {
+					return wy
+				}
+				return wx
+			}
+			if wx.kind == wSym && wy.kind == wSym && wx.sym == wy.sym {
+				if wy.bits > wx.bits {
+					return wy
+				}
+				return wx
+			}
+			return widthVal{}
+		case token.SHR:
+			wx := c.widthOf(e.X, seen)
+			s := c.shiftOf(e.Y, nil)
+			if s.kind != sConst {
+				return widthVal{}
+			}
+			switch wx.kind {
+			case wConst:
+				if wx.bits > s.c {
+					return widthVal{kind: wConst, bits: wx.bits - s.c}
+				}
+				return widthVal{kind: wConst, bits: 0}
+			case wSym:
+				return widthVal{kind: wSym, sym: wx.sym, bits: wx.bits - s.c}
+			}
+			return widthVal{}
+		case token.SHL:
+			wx := c.widthOf(e.X, seen)
+			s := c.shiftOf(e.Y, nil)
+			if wx.kind == wConst && s.kind == sConst {
+				if wx.bits == 0 {
+					return wx
+				}
+				return widthVal{kind: wConst, bits: wx.bits + s.c}
+			}
+			return widthVal{}
+		case token.REM:
+			if v, ok := c.intConst(e.Y); ok && v > 0 {
+				return widthVal{kind: wConst, bits: int64(bits.Len64(uint64(v - 1)))}
+			}
+			return widthVal{}
+		case token.ADD:
+			wx, wy := c.widthOf(e.X, seen), c.widthOf(e.Y, seen)
+			if wx.kind == wConst && wy.kind == wConst {
+				m := wx.bits
+				if wy.bits > m {
+					m = wy.bits
+				}
+				return widthVal{kind: wConst, bits: m + 1}
+			}
+			return widthVal{}
+		case token.SUB:
+			// (1<<e)-1 prefix mask.
+			if _, w, ok := c.maskExtent(e, nil); ok {
+				return w
+			}
+			return widthVal{}
+		}
+		return widthVal{}
+	case *ast.CallExpr:
+		if t, inner := c.conversion(e); t != nil {
+			tw, unsigned := unsignedWidth(t)
+			if !unsigned {
+				return widthVal{}
+			}
+			w := c.widthOf(inner, seen)
+			if w.kind == wUnknown {
+				// A widening conversion of an unproven value proves
+				// nothing (uint64(w) is not evidence w fits anywhere),
+				// and claiming the target width would flag every such
+				// store. Narrowing conversions genuinely truncate, but
+				// the tree always masks explicitly; stay unknown.
+				return widthVal{}
+			}
+			return minW(widthVal{kind: wConst, bits: tw}, w)
+		}
+		return widthVal{}
+	case *ast.Ident:
+		if def, obj := c.defOf(e); def != nil && !seen[obj] {
+			if seen == nil {
+				seen = map[types.Object]bool{}
+			}
+			seen[obj] = true
+			if w := c.widthOf(def, seen); w.kind != wUnknown {
+				return w
+			}
+		}
+		return typeWidth(c.pass.TypesInfo.TypeOf(e))
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return typeWidth(c.pass.TypesInfo.TypeOf(e))
+	}
+	return widthVal{}
+}
+
+// typeWidth gives the width bound an expression's unsigned type
+// implies; signed types imply nothing (their bit patterns can carry
+// sign extensions wider than any field).
+func typeWidth(t types.Type) widthVal {
+	if tw, ok := unsignedWidth(t); ok {
+		return widthVal{kind: wConst, bits: tw}
+	}
+	return widthVal{}
+}
+
+func unsignedWidth(t types.Type) (int64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0, false
+	}
+	switch b.Kind() {
+	case types.Uint8:
+		return 8, true
+	case types.Uint16:
+		return 16, true
+	case types.Uint32:
+		return 32, true
+	case types.Uint64, types.Uint, types.Uintptr:
+		return 64, true
+	}
+	return 0, false
+}
+
+func isByteSeq(t types.Type) bool {
+	var elem types.Type
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Pointer:
+		if arr, ok := t.Elem().Underlying().(*types.Array); ok {
+			elem = arr.Elem()
+		}
+	}
+	if elem == nil {
+		return false
+	}
+	b, ok := elem.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// simpleBase admits identifier / selector / index chains — the lane
+// words and locals the formats live in.
+func (c *checker) simpleBase(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return c.simpleBase(ast.Unparen(e.X))
+	case *ast.IndexExpr:
+		return c.simpleBase(ast.Unparen(e.X))
+	}
+	return false
+}
+
+func (c *checker) simpleUnsignedBase(e ast.Expr) bool {
+	if !c.simpleBase(e) {
+		return false
+	}
+	_, ok := unsignedWidth(c.pass.TypesInfo.TypeOf(e))
+	return ok
+}
+
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, n)
+	return buf.String()
+}
+
+// ---------------------------------------------------------------------
+// Evaluation: match accesses against bindings, report, track coverage.
+
+// fieldWidth returns the (element) width bound a field declares.
+func fieldWidth(f Field) widthVal {
+	if f.Lo.Sym == f.Hi.Sym {
+		return widthVal{kind: wConst, bits: f.Hi.Off - f.Lo.Off + 1}
+	}
+	if f.Lo.isConst() && f.Hi.Sym != "" {
+		return widthVal{kind: wSym, sym: f.Hi.Sym, bits: f.Hi.Off - f.Lo.Off + 1}
+	}
+	return widthVal{}
+}
+
+// verdict is one access judged against one binding.
+type verdict struct {
+	matched bool
+	field   string
+	msg     string // non-empty: a provable violation (matched or not)
+}
+
+func (c *checker) evaluate() {
+	anchored := map[string]bool{}
+	for _, a := range c.accesses {
+		if !a.byteAcc && a.sh.kind == sUnknown {
+			continue
+		}
+		for _, b := range c.binds {
+			if c.anchors(b, a) {
+				anchored[a.base] = true
+			}
+		}
+	}
+	for _, a := range c.accesses {
+		if !a.byteAcc && a.sh.kind == sUnknown {
+			continue
+		}
+		var verdicts []verdict
+		for _, b := range c.binds {
+			if a.byteAcc != (b.spec.Unit == "byte") {
+				continue
+			}
+			v := c.judge(b, a)
+			verdicts = append(verdicts, v)
+			if v.matched {
+				if a.write && !a.clear {
+					b.written[v.field] = true
+				}
+				if !a.write {
+					b.read[v.field] = true
+				}
+			}
+		}
+		if len(verdicts) == 0 {
+			continue
+		}
+		ok := false
+		for _, v := range verdicts {
+			if v.matched && v.msg == "" {
+				ok = true
+			}
+		}
+		if ok || !anchored[a.base] {
+			continue
+		}
+		// Faulty against every compatible binding: report, preferring a
+		// matched-field violation over a no-such-field message.
+		msg := verdicts[0].msg
+		for _, v := range verdicts {
+			if v.matched {
+				msg = v.msg
+			}
+		}
+		c.allows.Report(c.pass, a, "%s", msg)
+	}
+}
+
+// anchors reports whether the access definitively ties its base to the
+// binding's layout: a nonzero constant, symbolic, or strided shift
+// landing on a field start, an exact extent match, or an exact byte
+// extent.
+func (c *checker) anchors(b *binding, a *access) bool {
+	if a.byteAcc != (b.spec.Unit == "byte") {
+		return false
+	}
+	if a.byteAcc {
+		for _, f := range b.spec.Fields {
+			if lo, hi, ok := f.extent(); ok && a.bLo == lo && a.bHi == hi {
+				return true
+			}
+		}
+		return false
+	}
+	f, matched := matchField(b.spec, a.sh)
+	if !matched {
+		return false
+	}
+	switch a.sh.kind {
+	case sSym, sFactor:
+		return true
+	case sConst:
+		if a.sh.c != 0 {
+			return true
+		}
+		fw := fieldWidth(*f)
+		return a.w.kind == wConst && fw.kind == wConst && a.w.bits == fw.bits
+	}
+	return false
+}
+
+// matchField finds the field a shift amount lands on.
+func matchField(spec Spec, sh shiftVal) (*Field, bool) {
+	for i := range spec.Fields {
+		f := &spec.Fields[i]
+		switch sh.kind {
+		case sConst:
+			if !f.Lo.isConst() {
+				continue
+			}
+			if f.Count == 1 {
+				if sh.c == f.Lo.Off {
+					return f, true
+				}
+				continue
+			}
+			lo, hi, ok := f.extent()
+			if !ok {
+				continue
+			}
+			w, _ := f.width()
+			if sh.c >= lo && sh.c <= hi && (sh.c-lo)%w == 0 {
+				return f, true
+			}
+		case sSym:
+			if f.Lo.Sym == sh.sym && f.Lo.Off == sh.off {
+				return f, true
+			}
+		case sFactor:
+			if f.Count > 1 && f.Lo.isConst() && f.Lo.Off == 0 {
+				if w, ok := f.width(); ok && sh.c%w == 0 {
+					return f, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// judge evaluates one access against one binding.
+func (c *checker) judge(b *binding, a *access) verdict {
+	if a.byteAcc {
+		return c.judgeByte(b, a)
+	}
+	f, matched := matchField(b.spec, a.sh)
+	if !matched {
+		return verdict{msg: c.noFieldMsg(b, a)}
+	}
+	v := verdict{matched: true, field: f.Name}
+	fw := fieldWidth(*f)
+	w := a.w
+	if !a.write && !a.capped && w.kind == wUnknown && a.sh.kind == sConst {
+		// An unmasked read runs to the top of the word.
+		w = widthVal{kind: wConst, bits: b.spec.Word - a.sh.c}
+	}
+	over := false
+	switch {
+	case w.kind == wConst && fw.kind == wConst:
+		over = w.bits > fw.bits
+	case w.kind == wSym && fw.kind == wSym && w.sym == fw.sym:
+		over = w.bits > fw.bits
+	}
+	if !over {
+		return v
+	}
+	if !a.write {
+		// Reading past the field is harmless when nothing sits above it:
+		// the top field of the word, or a bulk shift over a whole array.
+		if f.Count > 1 || (f.Hi.isConst() && f.Hi.Off+1 == b.spec.Word) {
+			return v
+		}
+		v.msg = fmt.Sprintf(
+			"unpacks %s bits starting at bit %s, wider than the %s-bit field %q of layout %s; mask the read so neighboring fields cannot leak in",
+			widthStr(w), a.sh, widthStr(fw), f.Name, b.name)
+		return v
+	}
+	if a.clear {
+		v.msg = fmt.Sprintf(
+			"clear mask %s bits wide crosses out of the %s-bit field %q of layout %s",
+			widthStr(w), widthStr(fw), f.Name, b.name)
+		return v
+	}
+	v.msg = fmt.Sprintf(
+		"packs a value up to %s bits wide into the %s-bit field %q of layout %s; mask the value so the store provably fits",
+		widthStr(w), widthStr(fw), f.Name, b.name)
+	return v
+}
+
+func widthStr(w widthVal) string {
+	switch w.kind {
+	case wConst:
+		return fmt.Sprintf("%d", w.bits)
+	case wSym:
+		return Bound{Sym: w.sym, Off: w.bits}.String()
+	}
+	return "?"
+}
+
+// noFieldMsg phrases an unmatched shift, pointing at the nearest field
+// when the bit provably lands inside one.
+func (c *checker) noFieldMsg(b *binding, a *access) string {
+	if a.sh.kind == sConst {
+		for _, f := range b.spec.Fields {
+			lo, hi, ok := f.extent()
+			if !ok || a.sh.c <= lo || a.sh.c > hi {
+				continue
+			}
+			return fmt.Sprintf(
+				"bit %d lands inside field %q (bits %d..%d) of layout %s but not on a field boundary — shift off by %d?",
+				a.sh.c, f.Name, lo, hi, b.name, a.sh.c-lo)
+		}
+	}
+	return fmt.Sprintf("no field of layout %s starts at bit %s", b.name, a.sh)
+}
+
+func (c *checker) judgeByte(b *binding, a *access) verdict {
+	for i := range b.spec.Fields {
+		f := &b.spec.Fields[i]
+		lo, hi, ok := f.extent()
+		if !ok {
+			continue
+		}
+		if a.bLo == lo && a.bHi == hi {
+			return verdict{matched: true, field: f.Name}
+		}
+		if a.bHi >= lo && a.bLo <= hi {
+			return verdict{matched: true, field: f.Name, msg: fmt.Sprintf(
+				"bytes %d..%d overlap field %q (bytes %d..%d) of layout %s without covering it exactly",
+				a.bLo, a.bHi, f.Name, lo, hi, b.name)}
+		}
+	}
+	return verdict{msg: fmt.Sprintf("no field of layout %s occupies bytes %d..%d", b.name, a.bLo, a.bHi)}
+}
+
+// coverage demands that pack roles write and unpack roles read every
+// declared field — the drift half of the pack/unpack inverse proof.
+func (c *checker) coverage() {
+	for _, b := range c.binds {
+		for _, f := range b.spec.Fields {
+			if b.pack && !b.written[f.Name] {
+				c.allows.Report(c.pass, c.fn.Name,
+					"pack site %s never writes field %q of layout %s; pack and unpack have drifted apart",
+					c.fn.Name.Name, f.Name, b.name)
+			}
+			if b.unpack && !b.read[f.Name] {
+				c.allows.Report(c.pass, c.fn.Name,
+					"unpack site %s never reads field %q of layout %s; pack and unpack have drifted apart",
+					c.fn.Name.Name, f.Name, b.name)
+			}
+		}
+	}
+}

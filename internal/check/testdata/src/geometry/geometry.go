@@ -45,3 +45,12 @@ func allowedFold(a zaddr.Addr) uint64 {
 
 //zbp:allow bitrange stale escape hatch // want `unused //zbp:allow bitrange`
 func nothingToAllow() int { return 1 }
+
+// packedLane is bound to a //zbp:layout: the packlayout analyzer owns
+// its shift/mask geometry, so the raw-arithmetic rule stands down
+// without an allow escape.
+//
+//zbp:layout lane pack
+func packedLane(a zaddr.Addr) uint64 {
+	return uint64(a)>>4 | uint64(a&31)<<58 // ok: checked field-by-field by packlayout
+}

@@ -1,0 +1,38 @@
+// Package client restates wire's frame layout and codes against it;
+// every divergence from the declaring package's fact is reported, and
+// role checks always run against wire's own spec.
+package client
+
+import "layoutdeps/wire"
+
+var _ = wire.Pack
+
+// The faithful restatement: accepted, verified field by field.
+//
+//zbp:layout wire.frame word:16 kind:0..3 seq:4..15
+const clientKindBits = 4
+
+// Diverging restatements: each line reports its own mismatch.
+//
+//zbp:layout wire.frame word:32 kind:0..3 seq:4..15 // want `layout wire\.frame declares word:32 here but 16 at wire's declaration`
+//zbp:layout wire.frame word:16 kind:0..3 seq:4..14 // want `layout wire\.frame field "seq" is 4\.\.14 here but 4\.\.15 at wire's declaration`
+//zbp:layout wire.frame word:16 kind:0..3 seq:4..15 extra:0..0 // want `layout wire\.frame adds field "extra", which wire's declaration does not have`
+//zbp:layout wire.frame word:16 kind:0..3 // want `layout wire\.frame omits field "seq" \(4\.\.15 at wire's declaration\)`
+//zbp:layout wire.nosuch word:8 x:0..7 // want `layout wire\.nosuch: package wire declares no //zbp:layout named "nosuch"`
+//zbp:layout ghost.frame word:8 x:0..7 // want `layout ghost\.frame restates a layout from package "ghost", but no imported package of that name exports layout facts`
+const _ = 0
+
+// Unpack decodes a frame against the restated layout.
+//
+//zbp:layout wire.frame unpack
+func Unpack(w uint16) (kind, seq uint16) {
+	return w & 0xF, w >> clientKindBits
+}
+
+// Repack binds straight to the imported fact and gets the same body
+// checks; the kind store here misses its boundary.
+//
+//zbp:layout wire.frame pack
+func Repack(kind, seq uint16) uint16 { // want `pack site Repack never writes field "kind" of layout wire\.frame; pack and unpack have drifted apart`
+	return (kind&0xF)<<1 | (seq&0xFFF)<<clientKindBits // want `bit 1 lands inside field "kind" \(bits 0\.\.3\) of layout wire\.frame but not on a field boundary — shift off by 1\?`
+}

@@ -1,0 +1,15 @@
+// Package wire declares the frame layout that dependent packages
+// restate; the declaration is exported as a package fact.
+package wire
+
+// The wire frame: a 4-bit kind below a 12-bit sequence number.
+//
+//zbp:layout frame word:16 kind:0..3 seq:4..15
+const kindBits = 4
+
+// Pack encodes a frame.
+//
+//zbp:layout frame pack
+func Pack(kind, seq uint16) uint16 {
+	return kind&0xF | (seq&0xFFF)<<kindBits
+}

@@ -1,0 +1,45 @@
+// Byte-granular formats: unit:byte layouts are checked against
+// constant slice extents and the fixed-width binary codec calls.
+package packfmt
+
+// le stands in for encoding/binary's little-endian codec; only the
+// call shapes matter to the analyzer.
+type byteOrder struct{}
+
+func (byteOrder) PutUint16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func (byteOrder) PutUint32(b []byte, v uint32) { b[0] = byte(v); b[3] = byte(v >> 24) }
+func (byteOrder) Uint16(b []byte) uint16       { return uint16(b[0]) | uint16(b[1])<<8 }
+func (byteOrder) Uint32(b []byte) uint32       { return uint32(b[0]) | uint32(b[3])<<24 }
+
+var le byteOrder
+
+// The frame header: a u16 kind then a u32 body size.
+//
+//zbp:layout frame word:frameSize unit:byte kind:0..1 size:2..5
+const frameSize = 6
+
+// packFrame encodes the header correctly.
+//
+//zbp:layout frame pack
+func packFrame(buf []byte, kind uint16, size uint32) {
+	le.PutUint16(buf[0:2], kind)
+	le.PutUint32(buf[2:6], size)
+}
+
+// packFrameStraddle writes the size short and off its boundary.
+//
+//zbp:layout frame pack
+func packFrameStraddle(buf []byte, kind uint16, size uint32) {
+	le.PutUint16(buf[0:2], kind)
+	le.PutUint16(buf[3:5], uint16(size)) // want `bytes 3\.\.4 overlap field "size" \(bytes 2\.\.5\) of layout frame without covering it exactly`
+}
+
+// unpackFrame decodes the header; the size read is one byte short,
+// which both the codec-width rule and the field-extent rule catch.
+//
+//zbp:layout frame unpack
+func unpackFrame(buf []byte) (uint16, uint32) {
+	kind := le.Uint16(buf[0:2])
+	size := le.Uint32(buf[2:5]) // want `Uint32 wants exactly 4 bytes but the slice spans bytes 2\.\.4 \(3 bytes\)` `bytes 2\.\.4 overlap field "size" \(bytes 2\.\.5\) of layout frame without covering it exactly`
+	return kind, size
+}

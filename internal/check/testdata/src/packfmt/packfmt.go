@@ -1,0 +1,112 @@
+// Package packfmt exercises the packlayout analyzer: declaration
+// geometry, pack/unpack body checks against the declared shifts and
+// widths, coverage drift, and byte-granular formats.
+package packfmt
+
+// The good layout the codec functions below bind to: a 2-bit
+// direction, a use flag, and an 8-bit length in a 16-bit word.
+//
+//zbp:layout meta word:wordBits dir:dirShift..dirShift+1 use:useBit length:lenShift..lenShift+7
+const (
+	dirShift = 0
+	useBit   = 2
+	lenShift = 4
+	wordBits = 16
+)
+
+// Bad declarations: each line reports its own geometry failure.
+//
+//zbp:layout overlap word:16 a:0..3 b:3..7 // want `layout overlap: fields a \(bits 0\.\.3\) and b \(bits 3\.\.7\) overlap`
+//zbp:layout toowide word:8 big:0..9 // want `layout toowide field big \(bits 0\.\.9\) exceeds the 8-bit word`
+//zbp:layout inverted word:8 b:5..2 // want `layout inverted field b: bounds 5\.\.2 are inverted`
+//zbp:layout ghost word:16 x:vanishedConst..5 // want `layout ghost field x: references constant "vanishedConst", which does not exist in package packfmt`
+//zbp:layout meta word:16 dir:0..1 length:4..11 use:2 // want `layout meta redeclared in package packfmt`
+const _ = 0
+
+// A role on a constant block has no body to check.
+//
+//zbp:layout meta pack // want `a pack/unpack role belongs on the codec function's doc comment, not a constant block`
+const _ = 1
+
+// A role naming a layout nobody declares.
+//
+//zbp:layout nosuch pack // want `no layout named "nosuch" is declared in this package or restatable from its imports`
+func badRole(x uint64) uint64 { return x }
+
+// packMeta is the well-formed pack site: every field written at its
+// declared shift, every value provably within its field.
+//
+//zbp:layout meta pack
+func packMeta(dir uint8, use bool, length uint8) uint64 {
+	m := uint64(dir&3) | uint64(length)<<lenShift
+	if use {
+		m |= 1 << useBit
+	}
+	return m
+}
+
+// packWide stores an unmasked 64-bit value into the 8-bit length
+// field.
+//
+//zbp:layout meta pack
+func packWide(dir uint8, length uint64) uint64 {
+	return uint64(dir&3) | length<<lenShift | 1<<useBit // want `packs a value up to 64 bits wide into the 8-bit field "length" of layout meta; mask the value so the store provably fits`
+}
+
+// packShifted writes the direction one bit too high: the boundary miss
+// reports at the store, and the drift shows up as dir never written.
+//
+//zbp:layout meta pack
+func packShifted(dir uint8, length uint8) uint64 { // want `pack site packShifted never writes field "dir" of layout meta; pack and unpack have drifted apart`
+	m := uint64(length)<<lenShift | 1<<useBit
+	m |= uint64(dir&3) << 1 // want `bit 1 lands inside field "dir" \(bits 0\.\.1\) of layout meta but not on a field boundary — shift off by 1\?`
+	return m
+}
+
+// packAllowed carries a sanctioned over-wide store; the allow on the
+// preceding line suppresses it.
+//
+//zbp:layout meta pack
+func packAllowed(dir uint8, length uint64) uint64 {
+	//zbp:allow packlayout length is range-checked by the caller
+	return uint64(dir&3) | length<<lenShift | 1<<useBit
+}
+
+//zbp:allow packlayout nothing on this line needs an escape // want `unused //zbp:allow packlayout: no packlayout diagnostic on this or the next line; delete the stale escape hatch`
+
+// unpackMeta is the well-formed unpack site.
+//
+//zbp:layout meta unpack
+func unpackMeta(m uint64) (uint8, bool, uint8) {
+	dir := uint8(m & 3)
+	use := m&(1<<useBit) != 0
+	length := uint8(m >> lenShift)
+	return dir, use, length
+}
+
+// unpackOverRead reads the direction with a mask that lets the use bit
+// leak into it.
+//
+//zbp:layout meta unpack
+func unpackOverRead(m uint64) (uint8, bool, uint8) {
+	dir := uint8(m & 7) // want `unpacks 3 bits starting at bit 0, wider than the 2-bit field "dir" of layout meta; mask the read so neighboring fields cannot leak in`
+	use := m&(1<<useBit) != 0
+	length := uint8(m >> lenShift)
+	return dir, use, length
+}
+
+// unpackPartial reads only the direction — unpack has drifted from
+// pack.
+//
+//zbp:layout meta unpack
+func unpackPartial(m uint64) uint8 { // want `unpack site unpackPartial never reads field "use" of layout meta; pack and unpack have drifted apart` `unpack site unpackPartial never reads field "length" of layout meta; pack and unpack have drifted apart`
+	return uint8(m & 3)
+}
+
+// usesMeta only probes the use flag; the uses role checks accesses but
+// demands no coverage.
+//
+//zbp:layout meta uses
+func usesMeta(m uint64) bool {
+	return m&(1<<useBit) != 0
+}

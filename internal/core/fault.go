@@ -13,6 +13,13 @@ import (
 // Called once from New; the FIT is deliberately outside the fault model:
 // a stale FIT entry only forfeits a re-index acceleration it would have
 // earned, which the accuracy/CPI studies cannot observe.
+//
+// The injector domain is btb's 72-bit logical entry payload. The
+// restatement below is verified field-by-field against btb's exported
+// layout fact at build time, so the bit positions this wiring assumes
+// cannot silently drift from btb's declaration:
+//
+//zbp:layout btb.payload word:72 target:0..63 dir:64..65 usePHT:66 useCTB:67 length:68..70 valid:71
 func (h *Hierarchy) attachInjectors() {
 	fc := h.cfg.Fault
 	if !fc.Enabled() {

@@ -40,6 +40,15 @@ func bufferedReader(r io.Reader) io.Reader { return bufio.NewReaderSize(r, 64<<1
 // format version.
 const journalMagic = "ZBPJ\x01"
 
+// frameSize is the fixed per-record frame header: a u32 little-endian
+// payload length followed by the u32 CRC32 (IEEE) of the payload.
+// packlayout proves the writer (appendRecord) and the reader
+// (replayJournal) against this declaration, so the two framing codecs
+// cannot drift apart.
+//
+//zbp:layout frame word:frameSize unit:byte length:0..3 crc:4..7
+const frameSize = 8
+
 // maxRecordBytes bounds one journal record. Payloads are job specs and
 // results (kilobytes); anything larger is a corrupt length field, and
 // refusing it keeps a flipped length bit from allocating gigabytes.
@@ -91,12 +100,14 @@ type record struct {
 // appendRecord frames and writes one record: u32 little-endian payload
 // length, u32 CRC32 (IEEE) of the payload, payload bytes. The caller
 // owns syncing.
+//
+//zbp:layout frame pack
 func appendRecord(w io.Writer, rec *record) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("jobq: encoding %s record: %w", rec.Op, err)
 	}
-	var hdr [8]byte
+	var hdr [frameSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -115,6 +126,8 @@ func appendRecord(w io.Writer, rec *record) error {
 // mismatch — wrapped with the byte offset where salvage stopped. A
 // journal missing its magic header entirely is rejected (that is a
 // wrong file, not a torn one).
+//
+//zbp:layout frame unpack
 func replayJournal(r io.Reader) (*state, int64, error) {
 	hdr := make([]byte, len(journalMagic))
 	if n, err := io.ReadFull(r, hdr); err != nil {
@@ -130,7 +143,7 @@ func replayJournal(r io.Reader) (*state, int64, error) {
 
 	st := newState()
 	off := int64(len(journalMagic))
-	var frame [8]byte
+	var frame [frameSize]byte
 	//zbp:bounded terminates when the journal stream hits EOF or a damaged record
 	for {
 		if n, err := io.ReadFull(r, frame[:]); err != nil {
@@ -159,7 +172,7 @@ func replayJournal(r io.Reader) (*state, int64, error) {
 		if err := st.apply(&rec); err != nil {
 			return st, off, fmt.Errorf("jobq: record at offset %d: %v: %w", off, err, ErrCorrupt)
 		}
-		off += 8 + int64(length)
+		off += frameSize + int64(length)
 	}
 }
 

@@ -30,6 +30,11 @@ const tagBits = 10
 
 // Packed 16-bit field layout (four fields per uint64 word): bit 0 is
 // valid, bits 1..10 the tag, bits 11..12 the 2-bit direction counter.
+// Both levels are proven by packlayout: the 16-bit field's contents,
+// and the four-fields-per-word striding of the uint64 lane.
+//
+//zbp:layout field word:fieldBits valid:fieldValidBit tag:fieldTagShift..fieldTagShift+tagBits-1 dir:fieldDirShift..fieldDirShift+1
+//zbp:layout slots word:64 entry[4]:0..fieldBits-1
 const (
 	fieldValidBit = 0
 	fieldTagShift = 1
@@ -99,21 +104,26 @@ func (t *Table) Entries() int { return t.n }
 // field returns entry i's packed 16-bit field.
 //
 //zbp:hotpath
+//zbp:layout slots unpack
 func (t *Table) field(i int) uint64 {
 	return t.words[i>>2] >> (uint(i&3) * fieldBits) & 0xFFFF
 }
 
-// setField overwrites entry i's packed field with v.
+// setField overwrites entry i's packed field with v, masked to the
+// entry width so a wide value can never smear into the neighboring
+// entries.
 //
 //zbp:hotpath
+//zbp:layout slots pack
 func (t *Table) setField(i int, v uint64) {
 	sh := uint(i&3) * fieldBits
-	t.words[i>>2] = t.words[i>>2]&^(uint64(0xFFFF)<<sh) | v<<sh
+	t.words[i>>2] = t.words[i>>2]&^(uint64(0xFFFF)<<sh) | (v&0xFFFF)<<sh
 }
 
 // packField builds the packed field for a valid entry.
 //
 //zbp:hotpath
+//zbp:layout field pack
 func packField(tag uint16, dir bht.Bimodal) uint64 {
 	return 1<<fieldValidBit |
 		uint64(tag&((1<<tagBits)-1))<<fieldTagShift |
@@ -170,6 +180,7 @@ func tagOf(a zaddr.Addr) uint16 {
 // which case the caller falls back to the BTB's bimodal direction.
 //
 //zbp:hotpath
+//zbp:layout field uses
 func (t *Table) Lookup(h *history.History, addr zaddr.Addr) (taken bool, ok bool) {
 	t.met.lookups.Inc()
 	i := h.PHTIndex(addr, t.n)
@@ -248,6 +259,7 @@ func (t *Table) refFaultCheck(e *entry) {
 // re-initialized) — small tagged predictors reallocate on miss.
 //
 //zbp:hotpath
+//zbp:layout field uses
 func (t *Table) Update(h *history.History, addr zaddr.Addr, taken bool) {
 	i := h.PHTIndex(addr, t.n)
 	tag := tagOf(addr)
@@ -299,6 +311,8 @@ type EntryState struct {
 type State struct{ Entries []EntryState }
 
 // State returns a deep copy of the table's architectural state.
+//
+//zbp:layout field unpack
 func (t *Table) State() State {
 	s := State{Entries: make([]EntryState, t.n)}
 	if t.ref != nil {

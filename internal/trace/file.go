@@ -24,6 +24,12 @@ import (
 // re-consumed without regeneration (cmd/tracegen writes, ReadFile
 // loads).
 
+// The record's byte geometry and the flags byte's bit layout are both
+// declared here and proven against the encoder/decoder by packlayout,
+// so WriteSlice and decodeRecord cannot drift apart silently.
+//
+//zbp:layout record word:recordSize unit:byte addr:0..7 target:8..15 hint:16..23 length:24 kind:25 flags:26
+//zbp:layout flags word:8 taken:0 staticTaken:1
 const (
 	fileMagic   = "ZBPT"
 	fileVersion = 2
@@ -48,6 +54,9 @@ func Write(w io.Writer, src Source) (int64, error) {
 }
 
 // WriteSlice serializes ins to w in ZBPT format under the given name.
+//
+//zbp:layout record pack
+//zbp:layout flags pack
 func WriteSlice(w io.Writer, name string, ins []Inst) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
@@ -149,6 +158,8 @@ func readHeader(r io.Reader) (name string, n uint64, off int64, err error) {
 // recordSize bytes; no validation is performed here.
 //
 //zbp:hotpath
+//zbp:layout record unpack
+//zbp:layout flags unpack
 func decodeRecord(rec []byte) Inst {
 	return Inst{
 		Addr:        zaddr.Addr(binary.LittleEndian.Uint64(rec[0:8])),
